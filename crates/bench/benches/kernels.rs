@@ -1,0 +1,158 @@
+//! Criterion benches on the hot kernels of the federated meta-learning
+//! stack: meta-gradients (analytic HVP vs finite difference), platform
+//! aggregation, adversarial surrogate maximization, and the wire codec.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fml_core::meta::{self, MetaGradientMode};
+use fml_dro::{RobustSurrogate, SquaredL2Cost};
+use fml_linalg::{vector, Matrix};
+use fml_models::{Activation, Batch, Mlp, MlpBuilder, Model, SoftmaxRegression};
+use fml_sim::Message;
+use rand::{Rng, SeedableRng};
+
+fn softmax_setup(dim: usize, classes: usize, n: usize) -> (SoftmaxRegression, Vec<f64>, Batch) {
+    let model = SoftmaxRegression::new(dim, classes).with_l2(1e-3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let params = model.init_params(&mut rng);
+    let mut xs = Matrix::zeros(n, dim);
+    let mut ys = Vec::with_capacity(n);
+    for r in 0..n {
+        for c in 0..dim {
+            xs.set(r, c, rng.gen::<f64>() - 0.5);
+        }
+        ys.push(r % classes);
+    }
+    (model, params, Batch::classification(xs, ys).unwrap())
+}
+
+fn mlp_setup(dim: usize, hidden: &[usize], n: usize) -> (Mlp, Vec<f64>, Batch) {
+    let model = MlpBuilder::new(dim, 2)
+        .hidden(hidden)
+        .activation(Activation::Tanh)
+        .build()
+        .unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let params = model.init_params(&mut rng);
+    let mut xs = Matrix::zeros(n, dim);
+    let mut ys = Vec::with_capacity(n);
+    for r in 0..n {
+        for c in 0..dim {
+            xs.set(r, c, rng.gen::<f64>() - 0.5);
+        }
+        ys.push(r % 2);
+    }
+    (model, params, Batch::classification(xs, ys).unwrap())
+}
+
+fn bench_hvp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hvp");
+    // Analytic softmax HVP vs the trait's finite-difference default.
+    let (model, params, batch) = softmax_setup(60, 10, 17);
+    let v: Vec<f64> = (0..params.len())
+        .map(|i| ((i % 7) as f64 - 3.0) / 7.0)
+        .collect();
+    group.bench_function("softmax_analytic", |b| {
+        b.iter(|| model.hvp(black_box(&params), &batch, black_box(&v)))
+    });
+    group.bench_function("softmax_finite_diff", |b| {
+        b.iter(|| {
+            // The default implementation path: two gradient probes.
+            let eps = 1e-6;
+            let mut plus = params.clone();
+            vector::axpy(eps, &v, &mut plus);
+            let mut minus = params.clone();
+            vector::axpy(-eps, &v, &mut minus);
+            let gp = model.grad(&plus, &batch);
+            let gm = model.grad(&minus, &batch);
+            black_box(vector::sub(&gp, &gm))
+        })
+    });
+    let (mlp, mparams, mbatch) = mlp_setup(32, &[32], 32);
+    let mv: Vec<f64> = (0..mparams.len())
+        .map(|i| ((i % 5) as f64 - 2.0) / 5.0)
+        .collect();
+    group.bench_function("mlp_pearlmutter", |b| {
+        b.iter(|| mlp.hvp(black_box(&mparams), &mbatch, black_box(&mv)))
+    });
+    group.finish();
+}
+
+fn bench_meta_gradient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("meta_gradient");
+    let (model, params, batch) = softmax_setup(60, 10, 17);
+    let (train, test) = batch.split_at(5);
+    for (name, mode) in [
+        ("full_second_order", MetaGradientMode::FullSecondOrder),
+        ("first_order", MetaGradientMode::FirstOrder),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| meta::meta_gradient(&model, black_box(&params), &train, &test, 0.01, mode))
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation");
+    for &nodes in &[10usize, 50, 200] {
+        let dim = 610; // softmax 10x60 + 10
+        let params: Vec<Vec<f64>> = (0..nodes)
+            .map(|i| (0..dim).map(|j| (i * j) as f64 / 1e3).collect())
+            .collect();
+        let views: Vec<&[f64]> = params.iter().map(|p| p.as_slice()).collect();
+        let weights = vec![1.0 / nodes as f64; nodes];
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| vector::weighted_sum(black_box(&views), black_box(&weights)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_adversarial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversarial");
+    let (model, params, batch) = softmax_setup(64, 10, 8);
+    for &lambda in &[0.1, 1.0, 10.0] {
+        let s = RobustSurrogate::new(SquaredL2Cost, lambda)
+            .with_steps(10)
+            .with_step_size(1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(lambda), &lambda, |b, _| {
+            b.iter(|| {
+                s.maximize(
+                    &model,
+                    black_box(&params),
+                    black_box(batch.feature(0)),
+                    batch.target(0),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_codec");
+    for &dim in &[610usize, 4906] {
+        let msg = Message::GlobalModel {
+            round: 1,
+            params: (0..dim).map(|i| i as f64 * 0.5).collect(),
+        };
+        group.bench_with_input(BenchmarkId::new("encode", dim), &dim, |b, _| {
+            b.iter(|| black_box(&msg).encode())
+        });
+        let frame = msg.encode();
+        group.bench_with_input(BenchmarkId::new("decode", dim), &dim, |b, _| {
+            b.iter(|| Message::decode(black_box(&frame)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hvp,
+    bench_meta_gradient,
+    bench_aggregation,
+    bench_adversarial,
+    bench_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Criterion benches on end-to-end training rounds: FedML vs baselines
+//! per communication round, Robust FedML's adversarial-generation
+//! overhead, and the simulator's executor across thread counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fml_core::{
+    FedAvg, FedAvgConfig, FedMl, FedMlConfig, MetaGradientMode, RobustFedMl, RobustFedMlConfig,
+    SourceTask,
+};
+use fml_models::{Model, SoftmaxRegression};
+use fml_sim::{SimConfig, SimRunner};
+use rand::SeedableRng;
+
+fn setup(nodes: usize) -> (SoftmaxRegression, Vec<SourceTask>, Vec<f64>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let fed = fml_data::synthetic::SyntheticConfig::new(0.5, 0.5)
+        .with_nodes(nodes)
+        .with_dim(20)
+        .with_classes(5)
+        .with_mean_samples(16.0)
+        .generate(&mut rng);
+    let tasks = SourceTask::from_nodes_deterministic(fed.nodes(), 5);
+    let model = SoftmaxRegression::new(20, 5).with_l2(1e-3);
+    let theta0 = model.init_params(&mut rng);
+    (model, tasks, theta0)
+}
+
+fn bench_one_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_round");
+    let (model, tasks, theta0) = setup(10);
+    let fedml = FedMl::new(
+        FedMlConfig::new(0.01, 0.01)
+            .with_local_steps(5)
+            .with_rounds(1)
+            .with_record_every(0),
+    );
+    group.bench_function("fedml_t0_5", |b| {
+        b.iter(|| fedml.train_from(&model, black_box(&tasks), &theta0))
+    });
+    let fomaml = FedMl::new(
+        FedMlConfig::new(0.01, 0.01)
+            .with_local_steps(5)
+            .with_rounds(1)
+            .with_mode(MetaGradientMode::FirstOrder)
+            .with_record_every(0),
+    );
+    group.bench_function("fomaml_t0_5", |b| {
+        b.iter(|| fomaml.train_from(&model, black_box(&tasks), &theta0))
+    });
+    let fedavg = FedAvg::new(
+        FedAvgConfig::new(0.01)
+            .with_local_steps(5)
+            .with_rounds(1)
+            .with_record_every(0),
+    );
+    group.bench_function("fedavg_t0_5", |b| {
+        b.iter(|| fedavg.train_from(&model, black_box(&tasks), &theta0))
+    });
+    group.finish();
+}
+
+fn bench_robust_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robust_round");
+    let (model, tasks, theta0) = setup(6);
+    for &lambda in &[0.1, 10.0] {
+        // N0 = 1 so the generation path runs inside the measured round.
+        let cfg = RobustFedMlConfig::new(0.01, 0.01, lambda)
+            .with_local_steps(5)
+            .with_rounds(1)
+            .with_adversarial(1.0, 10, 1, 1)
+            .with_record_every(0);
+        group.bench_with_input(BenchmarkId::from_parameter(lambda), &lambda, |b, _| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+                RobustFedMl::new(cfg).train_from(&model, black_box(&tasks), &theta0, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_threads");
+    let (model, tasks, theta0) = setup(24);
+    let cfg = FedMlConfig::new(0.01, 0.01)
+        .with_local_steps(5)
+        .with_rounds(2)
+        .with_record_every(0);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+                SimRunner::new(SimConfig::ideal().with_threads(threads)).run_fedml(
+                    &FedMl::new(cfg),
+                    &model,
+                    black_box(&tasks),
+                    &theta0,
+                    &mut rng,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_one_round,
+    bench_robust_generation,
+    bench_sim_threads
+);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Figure 2(a) — impact of node similarity on FedML convergence.
+//!
+//! The figure plots the convergence error `G(θ^t) − G(θ*)` against
+//! iterations for three federations at increasing node dissimilarity,
+//! T0 = 10. Expected shape (and the paper's): curves ordered by
+//! similarity — the more dissimilar the federation, the larger the error
+//! at any iteration, converging to Theorem 2's `h(T0)` floor.
+//!
+//! Reproduction notes (details in EXPERIMENTS.md):
+//!
+//! * The similarity axis is realized on a **linear-regression
+//!   federation**: node `i` draws a private design matrix and a ground
+//!   truth `w_i = w₀ + r·z_i`, so Assumption 4's gradient variation `δ_i`
+//!   scales linearly in `r` and the per-node Hessians differ (`σ_i > 0`).
+//!   Per-node Hessian variation is *necessary* for the floor to exist:
+//!   with identical curvature (e.g. isotropic quadratics) the local
+//!   dynamics are affine and commute with weighted averaging, so FedML
+//!   with any `T0` coincides exactly with centralized descent and the
+//!   convergence error is zero for every `r` — a sharper statement than
+//!   Theorem 2's upper bound, which is loose in that regime.
+//! * On the paper's FedProx-style Synthetic(α̃, β̃) softmax workload the
+//!   knob does **not** isolate similarity: α̃ provably cancels inside
+//!   `argmax(softmax(Wx + b))` (see `fml_data::shared_synthetic`), and at
+//!   17 samples/node the per-node gradient noise swamps what remains
+//!   (measured δ̄ moves only 0.96 → 1.06 across dev ∈ [0, 2]). A
+//!   companion series generated with the paper's generator is included
+//!   for completeness; its curves nearly coincide, which is itself a
+//!   reproduction finding.
+
+use fml_bench::{ExpArgs, Experiment, Series};
+use fml_core::{FedMl, FedMlConfig, SourceTask};
+use fml_data::NodeData;
+use fml_linalg::Matrix;
+use fml_models::{Batch, LinearRegression, Model};
+use rand::{Rng, SeedableRng};
+
+/// Linear-regression federation: node `i` has a private random design and
+/// ground truth `w_i = w₀ + r·z_i` (same `z_i` across `r`, so the only
+/// thing the sweep changes is the dissimilarity radius).
+fn regression_federation(nodes: usize, dim: usize, samples: usize, r: f64) -> Vec<SourceTask> {
+    let mut base_rng = rand::rngs::StdRng::seed_from_u64(42);
+    let w0: Vec<f64> = (0..=dim)
+        .map(|_| base_rng.gen::<f64>() * 2.0 - 1.0)
+        .collect();
+    let data: Vec<NodeData> = (0..nodes)
+        .map(|id| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + id as u64);
+            let z: Vec<f64> = (0..=dim).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+            let wi: Vec<f64> = w0.iter().zip(&z).map(|(w, zi)| w + r * zi).collect();
+            let mut xs = Matrix::zeros(samples, dim);
+            let mut ys = Vec::with_capacity(samples);
+            for row in 0..samples {
+                let mut y = wi[dim]; // bias
+                #[allow(clippy::needless_range_loop)] // c indexes xs columns and wi
+                for c in 0..dim {
+                    let v = rng.gen::<f64>() * 2.0 - 1.0;
+                    xs.set(row, c, v);
+                    y += wi[c] * v;
+                }
+                ys.push(y);
+            }
+            NodeData {
+                id,
+                batch: Batch::regression(xs, ys).expect("shapes match"),
+            }
+        })
+        .collect();
+    SourceTask::from_nodes_deterministic(&data, samples / 2)
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let t0 = 10;
+    let alpha = 0.2;
+    let beta = 0.3;
+    let rounds = args.scale(50, 8);
+
+    let mut exp = Experiment::new(
+        "fig2a",
+        "Impact of node similarity on the convergence of FedML",
+        "iteration",
+        "G(theta_t) - G(theta*)",
+    );
+    exp.note(format!(
+        "linear-regression federation, T0={t0}, alpha={alpha}, beta={beta}, rounds={rounds}"
+    ));
+    exp.note("dissimilarity radius r scales Assumption 4's delta_i linearly");
+
+    // --- main series: strongly convex regression, radius = dissimilarity ---
+    let model = LinearRegression::new(3).with_l2(0.05);
+    for r in [0.5, 1.0, 2.0] {
+        let tasks = regression_federation(10, 3, 8, r);
+        let cfg = FedMlConfig::new(alpha, beta)
+            .with_local_steps(t0)
+            .with_rounds(rounds)
+            .with_record_every(0);
+        let theta0 = vec![2.0; model.param_len()];
+        let out = FedMl::new(cfg).train_from(&model, &tasks, &theta0);
+        // Estimate G(θ*) with a long centralized run from the endpoint.
+        let (_, g_star) = FedMl::new(cfg).centralized_optimum(
+            &model,
+            &tasks,
+            &out.params,
+            args.scale(20000, 2000),
+        );
+        let curve = out.aggregation_curve();
+        let x: Vec<f64> = curve.iter().map(|&(i, _)| i as f64).collect();
+        let y: Vec<f64> = curve.iter().map(|&(_, g)| (g - g_star).max(0.0)).collect();
+        exp.note(format!(
+            "delta={r}: final error {:.6}",
+            y.last().copied().unwrap_or(f64::NAN)
+        ));
+        exp.push_series(Series::new(format!("delta={r}"), x, y));
+    }
+
+    // --- companion series: the paper's Synthetic(α̃, β̃) generator ---
+    // Included to document that its similarity knob barely separates the
+    // curves (α̃ cancels in the labels; sample noise dominates δ).
+    for (a, b) in [(0.0, 0.0), (1.0, 1.0)] {
+        let setup = fml_bench::workloads::synthetic(a, b, 5, args.quick, args.seed);
+        let cfg = FedMlConfig::new(0.01, 0.01)
+            .with_local_steps(t0)
+            .with_rounds(rounds)
+            .with_record_every(0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed + 100);
+        let theta0 = setup.model.init_params(&mut rng);
+        let trainer = FedMl::new(cfg);
+        let out = trainer.train_from(&setup.model, &setup.tasks, &theta0);
+        let (_, g_star) = trainer.centralized_optimum(
+            &setup.model,
+            &setup.tasks,
+            &out.params,
+            args.scale(3000, 300),
+        );
+        let curve = out.aggregation_curve();
+        let x: Vec<f64> = curve.iter().map(|&(i, _)| i as f64).collect();
+        let y: Vec<f64> = curve.iter().map(|&(_, g)| (g - g_star).max(0.0)).collect();
+        exp.note(format!(
+            "paper Synthetic({a},{b}): final gap {:.4} (knob barely separates; see notes)",
+            y.last().copied().unwrap_or(f64::NAN)
+        ));
+        exp.push_series(Series::new(format!("paperSyn({a},{b})"), x, y));
+    }
+
+    exp.finish(&args);
+}

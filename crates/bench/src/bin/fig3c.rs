@@ -1,0 +1,37 @@
+//! Figure 3(c) — fast-adaptation performance of FedML vs FedAvg on
+//! Synthetic(0.5,0.5), T0 = 5.
+//!
+//! Expected shape: FedML's target accuracy dominates FedAvg's, improves
+//! with additional adaptation gradient steps without overfitting, and the
+//! gap widens at smaller `K`.
+
+use fml_bench::compare::{run_comparison, CompareConfig};
+use fml_bench::{ExpArgs, Experiment};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let setup = fml_bench::workloads::synthetic(0.5, 0.5, 5, args.quick, args.seed);
+    let mut exp = Experiment::new(
+        "fig3c",
+        "Adaptation performance on Synthetic(0.5,0.5): FedML vs FedAvg",
+        "adaptation steps",
+        "target accuracy",
+    );
+    exp.note("alpha=0.1, beta=0.05, T0=5 (rates scaled to our feature normalization; see EXPERIMENTS.md)");
+    run_comparison(
+        &mut exp,
+        &setup.model,
+        &setup.tasks,
+        &setup.targets,
+        CompareConfig {
+            alpha: 0.1,
+            beta: 0.05,
+            t0: 5,
+            rounds: args.scale(150, 6),
+            ks: [5, 10],
+            max_steps: 40,
+            seed: args.seed,
+        },
+    );
+    exp.finish(&args);
+}

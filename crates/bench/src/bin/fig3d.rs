@@ -1,0 +1,37 @@
+//! Figure 3(d) — fast-adaptation performance of FedML vs FedAvg on the
+//! MNIST-like dataset (multinomial logistic regression), T0 = 5.
+//!
+//! Expected shape: as in Figure 3(c) — FedML adapts to the target's two
+//! digits with a handful of samples; FedAvg's single global model
+//! overfits when fine-tuned on few samples.
+
+use fml_bench::compare::{run_comparison, CompareConfig};
+use fml_bench::{ExpArgs, Experiment};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let setup = fml_bench::workloads::mnist(5, args.quick, args.seed);
+    let mut exp = Experiment::new(
+        "fig3d",
+        "Adaptation performance on MNIST-like: FedML vs FedAvg",
+        "adaptation steps",
+        "target accuracy",
+    );
+    exp.note("alpha=0.3, beta=0.05, T0=5, 2 digits per node (rates scaled to our pixel normalization; see EXPERIMENTS.md)");
+    run_comparison(
+        &mut exp,
+        &setup.model,
+        &setup.tasks,
+        &setup.targets,
+        CompareConfig {
+            alpha: 0.3,
+            beta: 0.05,
+            t0: 5,
+            rounds: args.scale(150, 6),
+            ks: [5, 10],
+            max_steps: 40,
+            seed: args.seed,
+        },
+    );
+    exp.finish(&args);
+}

@@ -1,0 +1,35 @@
+//! Figure 3(e) — fast-adaptation performance of FedML vs FedAvg on the
+//! Sent140-like dataset (non-convex MLP), T0 = 5, α = 0.01, β = 0.3.
+//!
+//! Expected shape: as in Figures 3(c)/(d), now in the non-convex regime.
+
+use fml_bench::compare::{run_comparison, CompareConfig};
+use fml_bench::{ExpArgs, Experiment};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let setup = fml_bench::workloads::sent140(5, args.quick, args.seed);
+    let mut exp = Experiment::new(
+        "fig3e",
+        "Adaptation performance on Sent140-like: FedML vs FedAvg",
+        "adaptation steps",
+        "target accuracy",
+    );
+    exp.note("alpha=0.01, beta=0.3, T0=5, MLP head over frozen embeddings");
+    run_comparison(
+        &mut exp,
+        &setup.model,
+        &setup.tasks,
+        &setup.targets,
+        CompareConfig {
+            alpha: 0.01,
+            beta: 0.3,
+            t0: 5,
+            rounds: args.scale(60, 4),
+            ks: [5, 10],
+            max_steps: 40,
+            seed: args.seed,
+        },
+    );
+    exp.finish(&args);
+}

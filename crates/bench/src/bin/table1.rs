@@ -1,0 +1,70 @@
+//! Table I — statistics of the three federated datasets.
+//!
+//! Regenerates: dataset name, node count, mean and standard deviation of
+//! samples per node, next to the paper's reported values.
+
+use fml_bench::{ExpArgs, Experiment, Series};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let quick = args.quick;
+
+    let synthetic = fml_bench::workloads::synthetic(0.5, 0.5, 5, quick, args.seed);
+    let mnist = fml_bench::workloads::mnist(5, quick, args.seed + 1);
+    let sent = fml_bench::workloads::sent140(5, quick, args.seed + 2);
+
+    let stats = [
+        (synthetic.federation.stats(), 50.0, 17.0, 5.0),
+        (mnist.federation.stats(), 100.0, 34.0, 5.0),
+        (sent.federation.stats(), 706.0, 42.0, 35.0),
+    ];
+
+    let mut exp = Experiment::new(
+        "table1",
+        "Table I: statistics of datasets (ours vs paper)",
+        "row",
+        "value",
+    );
+    exp.note("rows: 0=Synthetic 1=MNIST-like 2=Sent140-like");
+    exp.note("paper values: nodes {50,100,706}, mean {17,34,42}, stdev {5,5,35}");
+
+    let xs: Vec<f64> = (0..stats.len()).map(|i| i as f64).collect();
+    exp.push_series(Series::new(
+        "nodes(ours)",
+        xs.clone(),
+        stats.iter().map(|(s, ..)| s.nodes as f64).collect(),
+    ));
+    exp.push_series(Series::new(
+        "nodes(paper)",
+        xs.clone(),
+        stats.iter().map(|&(_, n, _, _)| n).collect(),
+    ));
+    exp.push_series(Series::new(
+        "mean(ours)",
+        xs.clone(),
+        stats.iter().map(|(s, ..)| s.mean_samples).collect(),
+    ));
+    exp.push_series(Series::new(
+        "mean(paper)",
+        xs.clone(),
+        stats.iter().map(|&(_, _, m, _)| m).collect(),
+    ));
+    exp.push_series(Series::new(
+        "stdev(ours)",
+        xs.clone(),
+        stats.iter().map(|(s, ..)| s.stdev_samples).collect(),
+    ));
+    exp.push_series(Series::new(
+        "stdev(paper)",
+        xs,
+        stats.iter().map(|&(_, _, _, d)| d).collect(),
+    ));
+
+    for (s, ..) in &stats {
+        exp.note(format!(
+            "{}: {} nodes, {} samples total",
+            s.name, s.nodes, s.total_samples
+        ));
+    }
+    exp.finish(&args);
+}

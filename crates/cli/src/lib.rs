@@ -1,0 +1,539 @@
+//! Config-driven experiment runner behind the `fedml` binary.
+//!
+//! One JSON document ([`RunConfig`]) describes the dataset, model,
+//! algorithm, optional simulated network, and evaluation protocol;
+//! [`run`] executes it end to end and returns a [`Report`]:
+//!
+//! ```
+//! use fml_cli::{run, RunConfig};
+//!
+//! let mut cfg = RunConfig::example();
+//! // shrink for the doctest
+//! cfg.dataset = fml_cli::DatasetConfig::Synthetic {
+//!     alpha: 0.5, beta: 0.5, nodes: 6, dim: 6, classes: 3, mean_samples: 16.0,
+//! };
+//! cfg.model = fml_cli::ModelConfig::Softmax { l2: 1e-3 };
+//! cfg.algorithm = fml_cli::AlgorithmConfig::Fedavg { lr: 0.05, local_steps: 2, rounds: 2 };
+//! cfg.simulate = None;
+//! let report = run(&cfg)?;
+//! assert_eq!(report.algorithm, "FedAvg");
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod report;
+
+pub use config::{
+    AlgorithmConfig, DatasetConfig, EvalConfig, ModelConfig, NetworkKind, RunConfig, SimulateConfig,
+};
+pub use report::{EvalReport, Report, SimReport, TrainReport};
+
+use fml_core::{
+    adapt, FedAvg, FedAvgConfig, FedMl, FedMlConfig, FedProx, FedProxConfig, MetaGradientMode,
+    MetaSgd, MetaSgdConfig, Reptile, ReptileConfig, RobustFedMl, RobustFedMlConfig, SourceTask,
+    TrainOutput,
+};
+use fml_data::synthetic::SyntheticConfig;
+use fml_data::{
+    mnist_like::MnistLikeConfig, sent140_like::Sent140LikeConfig,
+    shared_synthetic::SharedSyntheticConfig, Federation, NodeData,
+};
+use fml_dro::BoxConstraint;
+use fml_models::{Activation, MlpBuilder, Model, SoftmaxRegression};
+use fml_sim::{Network, SimConfig, SimRunner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds the federation described by the config.
+fn build_dataset(cfg: &DatasetConfig, rng: &mut StdRng) -> Federation {
+    match *cfg {
+        DatasetConfig::Synthetic {
+            alpha,
+            beta,
+            nodes,
+            dim,
+            classes,
+            mean_samples,
+        } => SyntheticConfig::new(alpha, beta)
+            .with_nodes(nodes)
+            .with_dim(dim)
+            .with_classes(classes)
+            .with_mean_samples(mean_samples)
+            .generate(rng),
+        DatasetConfig::SharedSynthetic {
+            model_dev,
+            input_dev,
+            nodes,
+            dim,
+            classes,
+            mean_samples,
+        } => SharedSyntheticConfig::new(model_dev, input_dev)
+            .with_nodes(nodes)
+            .with_dim(dim)
+            .with_classes(classes)
+            .with_mean_samples(mean_samples)
+            .generate(rng),
+        DatasetConfig::MnistLike {
+            nodes,
+            dim,
+            mean_samples,
+        } => MnistLikeConfig::new()
+            .with_nodes(nodes)
+            .with_dim(dim)
+            .with_mean_samples(mean_samples)
+            .generate(rng),
+        DatasetConfig::Sent140Like {
+            users,
+            embed_dim,
+            mean_samples,
+        } => Sent140LikeConfig::new()
+            .with_users(users)
+            .with_embed_dim(embed_dim)
+            .with_mean_samples(mean_samples)
+            .generate(rng),
+    }
+}
+
+/// Builds the model described by the config for the given federation.
+fn build_model(cfg: &ModelConfig, fed: &Federation) -> Result<Box<dyn Model>, String> {
+    match cfg {
+        ModelConfig::Softmax { l2 } => {
+            if *l2 < 0.0 {
+                return Err("model.l2 must be non-negative".into());
+            }
+            Ok(Box::new(
+                SoftmaxRegression::new(fed.dim(), fed.classes()).with_l2(*l2),
+            ))
+        }
+        ModelConfig::Mlp { hidden, l2 } => MlpBuilder::new(fed.dim(), fed.classes())
+            .hidden(hidden)
+            .activation(Activation::Tanh)
+            .l2(*l2)
+            .build()
+            .map(|m| Box::new(m) as Box<dyn Model>)
+            .map_err(|e| e.to_string()),
+    }
+}
+
+/// Executes a full configured experiment.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the config is invalid or an
+/// algorithm/simulation combination is unsupported.
+pub fn run(cfg: &RunConfig) -> Result<Report, String> {
+    cfg.validate()?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let fed = build_dataset(&cfg.dataset, &mut rng);
+    let stats = fed.stats();
+    let (sources, targets) = fed.split_sources_targets(cfg.source_frac, &mut rng);
+    let tasks = SourceTask::from_nodes(&sources, cfg.eval.k, &mut rng);
+    let model = build_model(&cfg.model, &fed)?;
+    let theta0 = model.init_params(&mut rng);
+
+    let (name, output, sim_report) = train(cfg, model.as_ref(), &tasks, &theta0, &mut rng)?;
+    let eval = evaluate(cfg, model.as_ref(), &output.params, &targets, &mut rng);
+
+    Ok(Report {
+        dataset: stats,
+        algorithm: name,
+        training: TrainReport {
+            comm_rounds: output.comm_rounds,
+            local_iterations: output.local_iterations,
+            initial_meta_loss: output.history.first().map(|r| r.meta_loss),
+            final_meta_loss: output.final_meta_loss(),
+        },
+        simulation: sim_report,
+        eval,
+    })
+}
+
+fn train(
+    cfg: &RunConfig,
+    model: &dyn Model,
+    tasks: &[SourceTask],
+    theta0: &[f64],
+    rng: &mut StdRng,
+) -> Result<(String, TrainOutput, Option<SimReport>), String> {
+    let sim_cfg = cfg.simulate.map(|s| {
+        let network = match s.network {
+            NetworkKind::Edge => Network::edge(),
+            NetworkKind::Ideal => Network::ideal(),
+        };
+        SimConfig {
+            network,
+            dropout_prob: s.dropout,
+            client_fraction: s.client_fraction,
+            straggler_frac: s.straggler_frac,
+            straggler_speed: s.straggler_speed,
+            wait_fraction: s.wait_fraction,
+            iteration_time_s: s.iteration_time_s,
+            threads: 4,
+        }
+    });
+
+    match &cfg.algorithm {
+        AlgorithmConfig::Fedml {
+            alpha,
+            beta,
+            local_steps,
+            rounds,
+            first_order,
+        } => {
+            let mode = if *first_order {
+                MetaGradientMode::FirstOrder
+            } else {
+                MetaGradientMode::FullSecondOrder
+            };
+            let trainer = FedMl::new(
+                FedMlConfig::new(*alpha, *beta)
+                    .with_local_steps(*local_steps)
+                    .with_rounds(*rounds)
+                    .with_mode(mode)
+                    .with_record_every(0),
+            );
+            if let Some(sc) = sim_cfg {
+                let sim = SimRunner::new(sc).run_fedml(&trainer, model, tasks, theta0, rng);
+                let report = SimReport::from_output(&sim);
+                let out = TrainOutput {
+                    params: sim.params,
+                    history: Vec::new(),
+                    comm_rounds: *rounds,
+                    local_iterations: rounds * local_steps,
+                };
+                Ok(("FedML (simulated)".into(), out, Some(report)))
+            } else {
+                Ok((
+                    "FedML".into(),
+                    trainer.train_from(model, tasks, theta0),
+                    None,
+                ))
+            }
+        }
+        AlgorithmConfig::RobustFedml {
+            alpha,
+            beta,
+            local_steps,
+            rounds,
+            lambda,
+            ascent_steps,
+            n0,
+            max_generations,
+            clamp,
+        } => {
+            let constraint = match clamp {
+                Some((lo, hi)) => BoxConstraint::Clamp { lo: *lo, hi: *hi },
+                None => BoxConstraint::None,
+            };
+            let trainer = RobustFedMl::new(
+                RobustFedMlConfig::new(*alpha, *beta, *lambda)
+                    .with_local_steps(*local_steps)
+                    .with_rounds(*rounds)
+                    .with_adversarial(1.0, *ascent_steps, *n0, *max_generations)
+                    .with_constraint(constraint)
+                    .with_record_every(0),
+            );
+            Ok((
+                "RobustFedML".into(),
+                trainer.train_from(model, tasks, theta0, rng),
+                None,
+            ))
+        }
+        AlgorithmConfig::Fedavg {
+            lr,
+            local_steps,
+            rounds,
+        } => {
+            let trainer = FedAvg::new(
+                FedAvgConfig::new(*lr)
+                    .with_local_steps(*local_steps)
+                    .with_rounds(*rounds)
+                    .with_eval_alpha(cfg.eval.adapt_lr)
+                    .with_record_every(0),
+            );
+            if let Some(sc) = sim_cfg {
+                let sim = SimRunner::new(sc).run_fedavg(&trainer, model, tasks, theta0, rng);
+                let report = SimReport::from_output(&sim);
+                let out = TrainOutput {
+                    params: sim.params,
+                    history: Vec::new(),
+                    comm_rounds: *rounds,
+                    local_iterations: rounds * local_steps,
+                };
+                Ok(("FedAvg (simulated)".into(), out, Some(report)))
+            } else {
+                Ok((
+                    "FedAvg".into(),
+                    trainer.train_from(model, tasks, theta0),
+                    None,
+                ))
+            }
+        }
+        AlgorithmConfig::Fedprox {
+            lr,
+            prox,
+            local_steps,
+            rounds,
+        } => {
+            let trainer = FedProx::new(
+                FedProxConfig::new(*lr, *prox)
+                    .with_local_steps(*local_steps)
+                    .with_rounds(*rounds)
+                    .with_record_every(0),
+            );
+            Ok((
+                "FedProx".into(),
+                trainer.train_from(model, tasks, theta0),
+                None,
+            ))
+        }
+        AlgorithmConfig::Reptile {
+            inner_lr,
+            outer_lr,
+            inner_steps,
+            rounds,
+        } => {
+            let trainer = Reptile::new(
+                ReptileConfig::new(*inner_lr, *outer_lr)
+                    .with_inner_steps(*inner_steps)
+                    .with_rounds(*rounds),
+            );
+            Ok((
+                "Reptile".into(),
+                trainer.train_from(model, tasks, theta0),
+                None,
+            ))
+        }
+        AlgorithmConfig::Metasgd {
+            alpha_init,
+            beta,
+            local_steps,
+            rounds,
+        } => {
+            let trainer = MetaSgd::new(
+                MetaSgdConfig::new(*alpha_init, *beta)
+                    .with_local_steps(*local_steps)
+                    .with_rounds(*rounds)
+                    .with_record_every(0),
+            );
+            Ok((
+                "MetaSGD".into(),
+                trainer.train_from(model, tasks, theta0).train,
+                None,
+            ))
+        }
+    }
+}
+
+fn evaluate(
+    cfg: &RunConfig,
+    model: &dyn Model,
+    params: &[f64],
+    targets: &[NodeData],
+    rng: &mut StdRng,
+) -> EvalReport {
+    let e = &cfg.eval;
+    let clean =
+        adapt::evaluate_targets(model, params, targets, e.k, e.adapt_lr, e.adapt_steps, rng);
+    let adversarial = e.fgsm_xi.map(|xi| {
+        let mut arng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
+        let a = adapt::evaluate_targets_adversarial(
+            model,
+            params,
+            targets,
+            e.k,
+            e.adapt_lr,
+            e.adapt_steps,
+            xi,
+            BoxConstraint::None,
+            &mut arng,
+        );
+        (xi, a.final_loss(), a.final_accuracy())
+    });
+    EvalReport {
+        targets: clean.targets,
+        k: e.k,
+        adapt_steps: e.adapt_steps,
+        initial_loss: clean.curve.first().map_or(f64::NAN, |p| p.loss),
+        initial_accuracy: clean.curve.first().map_or(f64::NAN, |p| p.accuracy),
+        final_loss: clean.final_loss(),
+        final_accuracy: clean.final_accuracy(),
+        adversarial,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(algo: AlgorithmConfig) -> RunConfig {
+        RunConfig {
+            seed: 3,
+            source_frac: 0.75,
+            dataset: DatasetConfig::Synthetic {
+                alpha: 0.5,
+                beta: 0.5,
+                nodes: 8,
+                dim: 6,
+                classes: 3,
+                mean_samples: 18.0,
+            },
+            model: ModelConfig::Softmax { l2: 1e-3 },
+            algorithm: algo,
+            simulate: None,
+            eval: EvalConfig {
+                k: 4,
+                adapt_steps: 3,
+                adapt_lr: 0.05,
+                fgsm_xi: None,
+            },
+        }
+    }
+
+    #[test]
+    fn runs_every_algorithm() {
+        let algos = vec![
+            AlgorithmConfig::Fedml {
+                alpha: 0.05,
+                beta: 0.05,
+                local_steps: 2,
+                rounds: 2,
+                first_order: false,
+            },
+            AlgorithmConfig::Fedml {
+                alpha: 0.05,
+                beta: 0.05,
+                local_steps: 2,
+                rounds: 2,
+                first_order: true,
+            },
+            AlgorithmConfig::RobustFedml {
+                alpha: 0.05,
+                beta: 0.05,
+                local_steps: 2,
+                rounds: 2,
+                lambda: 1.0,
+                ascent_steps: 2,
+                n0: 1,
+                max_generations: 1,
+                clamp: Some((0.0, 1.0)),
+            },
+            AlgorithmConfig::Fedavg {
+                lr: 0.05,
+                local_steps: 2,
+                rounds: 2,
+            },
+            AlgorithmConfig::Fedprox {
+                lr: 0.05,
+                prox: 0.1,
+                local_steps: 2,
+                rounds: 2,
+            },
+            AlgorithmConfig::Reptile {
+                inner_lr: 0.05,
+                outer_lr: 0.5,
+                inner_steps: 2,
+                rounds: 2,
+            },
+            AlgorithmConfig::Metasgd {
+                alpha_init: 0.05,
+                beta: 0.05,
+                local_steps: 2,
+                rounds: 2,
+            },
+        ];
+        for algo in algos {
+            let report = run(&tiny(algo.clone())).unwrap_or_else(|e| panic!("{algo:?}: {e}"));
+            assert!(report.eval.final_loss.is_finite(), "{algo:?}");
+            assert!(report.training.comm_rounds > 0);
+        }
+    }
+
+    #[test]
+    fn simulated_run_reports_comm() {
+        let mut cfg = tiny(AlgorithmConfig::Fedml {
+            alpha: 0.05,
+            beta: 0.05,
+            local_steps: 2,
+            rounds: 2,
+            first_order: false,
+        });
+        cfg.simulate = Some(SimulateConfig {
+            network: NetworkKind::Edge,
+            dropout: 0.0,
+            client_fraction: 1.0,
+            straggler_frac: 0.0,
+            straggler_speed: 0.25,
+            wait_fraction: 1.0,
+            iteration_time_s: 0.01,
+        });
+        let report = run(&cfg).unwrap();
+        let sim = report.simulation.expect("simulated run must report comm");
+        assert!(sim.payload_bytes > 0);
+        assert!(sim.wall_clock_s > 0.0);
+        assert!(report.algorithm.contains("simulated"));
+    }
+
+    #[test]
+    fn adversarial_eval_is_reported_when_requested() {
+        let mut cfg = tiny(AlgorithmConfig::Fedavg {
+            lr: 0.05,
+            local_steps: 2,
+            rounds: 2,
+        });
+        cfg.eval.fgsm_xi = Some(0.1);
+        let report = run(&cfg).unwrap();
+        let (xi, loss, acc) = report.eval.adversarial.expect("adversarial eval requested");
+        assert_eq!(xi, 0.1);
+        assert!(loss.is_finite());
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn mlp_model_works_on_sent140_like() {
+        let mut cfg = tiny(AlgorithmConfig::Fedavg {
+            lr: 0.05,
+            local_steps: 2,
+            rounds: 2,
+        });
+        cfg.dataset = DatasetConfig::Sent140Like {
+            users: 6,
+            embed_dim: 8,
+            mean_samples: 20.0,
+        };
+        cfg.model = ModelConfig::Mlp {
+            hidden: vec![6],
+            l2: 1e-4,
+        };
+        let report = run(&cfg).unwrap();
+        assert_eq!(report.dataset.nodes, 6);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_running() {
+        let mut cfg = tiny(AlgorithmConfig::Fedavg {
+            lr: 0.05,
+            local_steps: 2,
+            rounds: 2,
+        });
+        cfg.eval.k = 0;
+        assert!(run(&cfg).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = tiny(AlgorithmConfig::Fedml {
+            alpha: 0.05,
+            beta: 0.05,
+            local_steps: 2,
+            rounds: 2,
+            first_order: false,
+        });
+        let a = run(&cfg).unwrap();
+        let b = run(&cfg).unwrap();
+        assert_eq!(a, b);
+    }
+}

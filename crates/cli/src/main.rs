@@ -1,0 +1,137 @@
+//! `fedml` — config-driven federated meta-learning runs.
+//!
+//! ```text
+//! fedml init <path>            write an example config
+//! fedml stats <config.json>    generate the dataset and print Table-I stats
+//! fedml run <config.json>      run the experiment and print the report
+//!       [--json <out.json>]    additionally dump the report as JSON
+//! ```
+
+use fml_cli::{run, RunConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  fedml init <path>                 write an example config
+  fedml stats <config.json>         print dataset statistics
+  fedml run <config.json> [--json <out.json>]";
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("init") => {
+            let path = args.get(1).ok_or("init requires a path")?;
+            let cfg = RunConfig::example();
+            let json = serde_json::to_string_pretty(&cfg).expect("example serializes");
+            std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote example config to {path}");
+            Ok(())
+        }
+        Some("stats") => {
+            let cfg = load_config(args.get(1))?;
+            // Reuse the runner's generation path via a 1-round FedAvg dry
+            // config? No — generate directly for an exact answer.
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.seed);
+            let fed = build_for_stats(&cfg, &mut rng);
+            let s = fed.stats();
+            println!(
+                "{}: {} nodes, {} samples total, {:.1} ± {:.1} samples/node",
+                s.name, s.nodes, s.total_samples, s.mean_samples, s.stdev_samples
+            );
+            Ok(())
+        }
+        Some("run") => {
+            let cfg = load_config(args.get(1))?;
+            let json_out = match (args.get(2).map(String::as_str), args.get(3)) {
+                (Some("--json"), Some(path)) => Some(path.clone()),
+                (None, _) => None,
+                _ => return Err("unexpected arguments after config path".into()),
+            };
+            let report = run(&cfg)?;
+            print!("{report}");
+            if let Some(path) = json_out {
+                let json = serde_json::to_string_pretty(&report).expect("report serializes");
+                std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+                println!("wrote JSON report to {path}");
+            }
+            Ok(())
+        }
+        Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other}")),
+        None => Err("no command given".into()),
+    }
+}
+
+fn load_config(path: Option<&String>) -> Result<RunConfig, String> {
+    let path = path.ok_or("missing config path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn build_for_stats(cfg: &RunConfig, rng: &mut rand::rngs::StdRng) -> fml_data::Federation {
+    use fml_cli::DatasetConfig as D;
+    use fml_data::{
+        mnist_like::MnistLikeConfig, sent140_like::Sent140LikeConfig,
+        shared_synthetic::SharedSyntheticConfig, synthetic::SyntheticConfig,
+    };
+    match cfg.dataset {
+        D::Synthetic {
+            alpha,
+            beta,
+            nodes,
+            dim,
+            classes,
+            mean_samples,
+        } => SyntheticConfig::new(alpha, beta)
+            .with_nodes(nodes)
+            .with_dim(dim)
+            .with_classes(classes)
+            .with_mean_samples(mean_samples)
+            .generate(rng),
+        D::SharedSynthetic {
+            model_dev,
+            input_dev,
+            nodes,
+            dim,
+            classes,
+            mean_samples,
+        } => SharedSyntheticConfig::new(model_dev, input_dev)
+            .with_nodes(nodes)
+            .with_dim(dim)
+            .with_classes(classes)
+            .with_mean_samples(mean_samples)
+            .generate(rng),
+        D::MnistLike {
+            nodes,
+            dim,
+            mean_samples,
+        } => MnistLikeConfig::new()
+            .with_nodes(nodes)
+            .with_dim(dim)
+            .with_mean_samples(mean_samples)
+            .generate(rng),
+        D::Sent140Like {
+            users,
+            embed_dim,
+            mean_samples,
+        } => Sent140LikeConfig::new()
+            .with_users(users)
+            .with_embed_dim(embed_dim)
+            .with_mean_samples(mean_samples)
+            .generate(rng),
+    }
+}

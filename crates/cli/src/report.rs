@@ -1,0 +1,217 @@
+//! Run reports: what the `fedml` binary prints and can dump as JSON.
+
+use fml_data::FederationStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Training-phase summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Communication rounds executed.
+    pub comm_rounds: usize,
+    /// Local iterations executed (per node).
+    pub local_iterations: usize,
+    /// Meta loss at the first recorded point (absent for simulated runs,
+    /// which track their own curve).
+    pub initial_meta_loss: Option<f64>,
+    /// Meta loss at the last recorded point.
+    pub final_meta_loss: Option<f64>,
+}
+
+/// Simulated-network summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Total payload bytes in both directions.
+    pub payload_bytes: u64,
+    /// Messages exchanged.
+    pub messages: u64,
+    /// Retransmitted frames.
+    pub retransmissions: u64,
+    /// Simulated wall clock (comm + compute critical paths).
+    pub wall_clock_s: f64,
+    /// Final meta loss measured on the simulator's own curve.
+    pub final_meta_loss: Option<f64>,
+}
+
+impl SimReport {
+    /// Extracts the summary from a simulator output.
+    pub fn from_output(sim: &fml_sim::SimOutput) -> Self {
+        SimReport {
+            payload_bytes: sim.comm.total_bytes(),
+            messages: sim.comm.messages,
+            retransmissions: sim.comm.retransmissions,
+            wall_clock_s: sim.wall_clock_s(),
+            final_meta_loss: sim.history.last().map(|&(_, g)| g),
+        }
+    }
+}
+
+/// Target-adaptation summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Number of target nodes evaluated.
+    pub targets: usize,
+    /// Support size K.
+    pub k: usize,
+    /// Adaptation steps taken.
+    pub adapt_steps: usize,
+    /// Loss before any adaptation.
+    pub initial_loss: f64,
+    /// Accuracy before any adaptation.
+    pub initial_accuracy: f64,
+    /// Loss after adaptation.
+    pub final_loss: f64,
+    /// Accuracy after adaptation.
+    pub final_accuracy: f64,
+    /// `(ξ, loss, accuracy)` under FGSM when requested.
+    pub adversarial: Option<(f64, f64, f64)>,
+}
+
+/// Full run report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Dataset statistics (Table-I style).
+    pub dataset: FederationStats,
+    /// Algorithm that ran.
+    pub algorithm: String,
+    /// Training summary.
+    pub training: TrainReport,
+    /// Simulated-network summary, when a `simulate` section was present.
+    pub simulation: Option<SimReport>,
+    /// Target evaluation.
+    pub eval: EvalReport,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "dataset    {} — {} nodes, {:.1} ± {:.1} samples/node",
+            self.dataset.name,
+            self.dataset.nodes,
+            self.dataset.mean_samples,
+            self.dataset.stdev_samples
+        )?;
+        writeln!(f, "algorithm  {}", self.algorithm)?;
+        write!(
+            f,
+            "training   {} rounds, {} local iterations",
+            self.training.comm_rounds, self.training.local_iterations
+        )?;
+        if let (Some(a), Some(b)) = (
+            self.training.initial_meta_loss,
+            self.training.final_meta_loss,
+        ) {
+            write!(f, ", meta loss {a:.4} -> {b:.4}")?;
+        }
+        writeln!(f)?;
+        if let Some(sim) = &self.simulation {
+            writeln!(
+                f,
+                "network    {:.2} MB payload, {} msgs, {} retx, {:.1}s simulated wall clock",
+                sim.payload_bytes as f64 / 1e6,
+                sim.messages,
+                sim.retransmissions,
+                sim.wall_clock_s
+            )?;
+            if let Some(l) = sim.final_meta_loss {
+                writeln!(f, "           final meta loss {l:.4}")?;
+            }
+        }
+        writeln!(
+            f,
+            "targets    {} nodes, K = {}, {} adaptation steps",
+            self.eval.targets, self.eval.k, self.eval.adapt_steps
+        )?;
+        writeln!(
+            f,
+            "           loss {:.4} -> {:.4}, accuracy {:.3} -> {:.3}",
+            self.eval.initial_loss,
+            self.eval.final_loss,
+            self.eval.initial_accuracy,
+            self.eval.final_accuracy
+        )?;
+        if let Some((xi, loss, acc)) = self.eval.adversarial {
+            writeln!(
+                f,
+                "adversary  FGSM xi = {xi}: loss {loss:.4}, accuracy {acc:.3}"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            dataset: FederationStats {
+                name: "Synthetic(0.5,0.5)".into(),
+                nodes: 30,
+                total_samples: 720,
+                mean_samples: 24.0,
+                stdev_samples: 9.0,
+            },
+            algorithm: "FedML".into(),
+            training: TrainReport {
+                comm_rounds: 60,
+                local_iterations: 300,
+                initial_meta_loss: Some(1.6),
+                final_meta_loss: Some(0.7),
+            },
+            simulation: Some(SimReport {
+                payload_bytes: 2_400_000,
+                messages: 720,
+                retransmissions: 4,
+                wall_clock_s: 12.5,
+                final_meta_loss: Some(0.7),
+            }),
+            eval: EvalReport {
+                targets: 6,
+                k: 5,
+                adapt_steps: 10,
+                initial_loss: 1.4,
+                initial_accuracy: 0.3,
+                final_loss: 0.8,
+                final_accuracy: 0.7,
+                adversarial: Some((0.1, 1.1, 0.55)),
+            },
+        }
+    }
+
+    #[test]
+    fn display_contains_all_sections() {
+        let text = sample().to_string();
+        for needle in [
+            "dataset",
+            "algorithm",
+            "training",
+            "network",
+            "targets",
+            "adversary",
+            "FedML",
+        ] {
+            assert!(text.contains(needle), "missing {needle}: {text}");
+        }
+    }
+
+    #[test]
+    fn display_without_optional_sections() {
+        let mut r = sample();
+        r.simulation = None;
+        r.eval.adversarial = None;
+        let text = r.to_string();
+        assert!(!text.contains("network"));
+        assert!(!text.contains("adversary"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

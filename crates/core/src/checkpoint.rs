@@ -1,0 +1,259 @@
+//! Model checkpointing.
+//!
+//! The platform persists the meta-learned initialization between the
+//! meta-training phase and (possibly much later) target deployments, and
+//! ships it across processes. A [`Checkpoint`] is a small, versioned,
+//! self-describing JSON document: algorithm name, parameter vector,
+//! optional Meta-SGD rate vector, and free-form metadata.
+//!
+//! # Examples
+//!
+//! ```
+//! use fml_core::checkpoint::Checkpoint;
+//!
+//! let ck = Checkpoint::new("FedML", vec![0.1, -0.2])
+//!     .with_meta("dataset", "Synthetic(0.5,0.5)");
+//! let json = ck.to_json()?;
+//! let back = Checkpoint::from_json(&json)?;
+//! assert_eq!(back.params, vec![0.1, -0.2]);
+//! # Ok::<(), fml_core::checkpoint::CheckpointError>(())
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Current checkpoint format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors from reading or writing checkpoints.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Parse(serde_json::Error),
+    /// A format version this build does not understand.
+    UnsupportedVersion {
+        /// Version found in the document.
+        found: u32,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Parse(e) => write!(f, "checkpoint parse error: {e}"),
+            CheckpointError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {found} (supported: {FORMAT_VERSION})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Parse(e) => Some(e),
+            CheckpointError::UnsupportedVersion { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Parse(e)
+    }
+}
+
+/// A persisted model initialization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version (for forward compatibility).
+    pub version: u32,
+    /// Name of the algorithm that produced the parameters.
+    pub algorithm: String,
+    /// Flat parameter vector `θ`.
+    pub params: Vec<f64>,
+    /// Meta-SGD's learned per-coordinate rates, when applicable.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rates: Option<Vec<f64>>,
+    /// Free-form metadata (dataset name, hyper-parameters, …).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub meta: BTreeMap<String, String>,
+}
+
+impl Checkpoint {
+    /// Creates a checkpoint for a parameter vector.
+    pub fn new(algorithm: impl Into<String>, params: Vec<f64>) -> Self {
+        Checkpoint {
+            version: FORMAT_VERSION,
+            algorithm: algorithm.into(),
+            params,
+            rates: None,
+            meta: BTreeMap::new(),
+        }
+    }
+
+    /// Builds from a training output.
+    pub fn from_output(algorithm: impl Into<String>, out: &crate::TrainOutput) -> Self {
+        let mut ck = Checkpoint::new(algorithm, out.params.clone());
+        ck.meta
+            .insert("comm_rounds".into(), out.comm_rounds.to_string());
+        ck.meta
+            .insert("local_iterations".into(), out.local_iterations.to_string());
+        if let Some(l) = out.final_meta_loss() {
+            ck.meta.insert("final_meta_loss".into(), format!("{l}"));
+        }
+        ck
+    }
+
+    /// Attaches Meta-SGD's learned rates.
+    pub fn with_rates(mut self, rates: Vec<f64>) -> Self {
+        self.rates = Some(rates);
+        self
+    }
+
+    /// Adds a metadata entry.
+    pub fn with_meta(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.meta.insert(key.into(), value.into());
+        self
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Parse`] on serialization failure (only
+    /// possible for non-finite floats under some serializers; `serde_json`
+    /// encodes them as `null`, which round-trips as an error — checkpoints
+    /// should contain finite parameters).
+    pub fn to_json(&self) -> Result<String, CheckpointError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Parse`] for malformed documents and
+    /// [`CheckpointError::UnsupportedVersion`] for newer formats.
+    pub fn from_json(json: &str) -> Result<Self, CheckpointError> {
+        let ck: Checkpoint = serde_json::from_str(json)?;
+        if ck.version > FORMAT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion { found: ck.version });
+        }
+        Ok(ck)
+    }
+
+    /// Writes to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on filesystem failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Reads from a file.
+    ///
+    /// # Errors
+    ///
+    /// See [`Checkpoint::from_json`] and [`CheckpointError::Io`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RoundRecord, TrainOutput};
+
+    #[test]
+    fn roundtrip_json() {
+        let ck = Checkpoint::new("FedML", vec![1.0, 2.0, 3.0])
+            .with_meta("k", "5")
+            .with_rates(vec![0.1, 0.2, 0.3]);
+        let back = Checkpoint::from_json(&ck.to_json().unwrap()).unwrap();
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn from_output_records_summary() {
+        let out = TrainOutput {
+            params: vec![0.5],
+            history: vec![RoundRecord {
+                iteration: 1,
+                meta_loss: 0.25,
+                train_loss: 0.5,
+                aggregated: true,
+            }],
+            comm_rounds: 3,
+            local_iterations: 15,
+        };
+        let ck = Checkpoint::from_output("FedML", &out);
+        assert_eq!(ck.params, vec![0.5]);
+        assert_eq!(ck.meta.get("comm_rounds").unwrap(), "3");
+        assert_eq!(ck.meta.get("final_meta_loss").unwrap(), "0.25");
+    }
+
+    #[test]
+    fn rejects_future_versions() {
+        let json = r#"{"version": 99, "algorithm": "X", "params": []}"#;
+        let err = Checkpoint::from_json(json).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckpointError::UnsupportedVersion { found: 99 }
+        ));
+        assert!(err.to_string().contains("99"));
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(matches!(
+            Checkpoint::from_json("{not json"),
+            Err(CheckpointError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dir = std::env::temp_dir().join("fml_checkpoint_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("ck.json");
+        let ck = Checkpoint::new("MetaSGD", vec![7.0]).with_rates(vec![0.5]);
+        ck.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck, back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = Checkpoint::load("/nonexistent/fml/ck.json").unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    #[test]
+    fn optional_fields_omitted_in_json() {
+        let json = Checkpoint::new("FedML", vec![]).to_json().unwrap();
+        assert!(!json.contains("rates"));
+        assert!(!json.contains("meta"));
+    }
+}

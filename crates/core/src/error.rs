@@ -1,0 +1,56 @@
+use std::fmt;
+
+/// Errors produced by federated training configuration and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A trainer was configured with an invalid hyper-parameter.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Training was attempted without any source tasks.
+    NoSourceTasks,
+    /// Parameters diverged to non-finite values.
+    Diverged {
+        /// Iteration at which divergence was detected.
+        iteration: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { reason } => write!(f, "invalid trainer config: {reason}"),
+            CoreError::NoSourceTasks => write!(f, "no source tasks to train on"),
+            CoreError::Diverged { iteration } => {
+                write!(f, "parameters diverged at iteration {iteration}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CoreError::NoSourceTasks.to_string().contains("source"));
+        assert!(CoreError::Diverged { iteration: 7 }
+            .to_string()
+            .contains('7'));
+        let e = CoreError::InvalidConfig {
+            reason: "alpha".into(),
+        };
+        assert!(e.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,415 @@
+use fml_models::Model;
+use rand::rngs::StdRng;
+
+use crate::meta::{self, MetaGradientMode};
+use crate::trainer::{aggregate, weighted_meta_loss, weighted_train_loss};
+use crate::{FederatedTrainer, RoundRecord, SourceTask, TrainOutput};
+
+/// Configuration for [`FedMl`] (Algorithm 1).
+///
+/// Defaults match the paper's synthetic/MNIST setup: `α = β = 0.01`,
+/// `T0 = 5` local steps, full second-order meta-gradients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FedMlConfig {
+    /// Inner (adaptation) learning rate `α` of eq. 3.
+    pub alpha: f64,
+    /// Meta learning rate `β` of eq. 4.
+    pub beta: f64,
+    /// Local iterations between aggregations, `T0`.
+    pub local_steps: usize,
+    /// Number of communication rounds `N` (total iterations `T = N·T0`).
+    pub rounds: usize,
+    /// Meta-gradient mode (full second-order or FOMAML).
+    pub mode: MetaGradientMode,
+    /// Record the training curve every this many iterations (aggregation
+    /// iterations are always recorded). 0 disables per-iteration records.
+    pub record_every: usize,
+}
+
+impl FedMlConfig {
+    /// Creates a config with the given learning rates and paper defaults
+    /// elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either rate is not positive.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && beta > 0.0, "learning rates must be positive");
+        FedMlConfig {
+            alpha,
+            beta,
+            local_steps: 5,
+            rounds: 20,
+            mode: MetaGradientMode::FullSecondOrder,
+            record_every: 1,
+        }
+    }
+
+    /// Sets `T0`, the number of local steps per communication round.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t0 == 0`.
+    pub fn with_local_steps(mut self, t0: usize) -> Self {
+        assert!(t0 > 0, "T0 must be at least 1");
+        self.local_steps = t0;
+        self
+    }
+
+    /// Sets the number of communication rounds.
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the total iteration budget `T`, rounding up to a whole number
+    /// of rounds (the paper assumes `T = N·T0`).
+    pub fn with_total_iterations(mut self, t: usize) -> Self {
+        self.rounds = t.div_ceil(self.local_steps);
+        self
+    }
+
+    /// Sets the meta-gradient mode.
+    pub fn with_mode(mut self, mode: MetaGradientMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the curve-recording stride.
+    pub fn with_record_every(mut self, every: usize) -> Self {
+        self.record_every = every;
+        self
+    }
+
+    /// Total iterations `T = rounds · T0`.
+    pub fn total_iterations(&self) -> usize {
+        self.rounds * self.local_steps
+    }
+}
+
+/// **Algorithm 1 — Federated Meta-Learning (FedML).**
+///
+/// Every iteration, each source node `i`:
+///
+/// 1. computes `φ_i^t = θ_i^t − α∇L(θ_i^t, D_i^train)` (line 6, eq. 3);
+/// 2. updates `θ_i^{t+1} = θ_i^t − β∇_θ L(φ_i^t, D_i^test)` (line 7,
+///    eq. 4) — the meta-gradient involving the inner-step Jacobian;
+///
+/// and every `T0` iterations the platform aggregates
+/// `θ^{t+1} = Σ ω_i θ_i^{t+1}` (lines 8–11, eq. 5) and broadcasts it back.
+///
+/// # Examples
+///
+/// See the crate-level quickstart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FedMl {
+    cfg: FedMlConfig,
+}
+
+impl FedMl {
+    /// Creates the trainer.
+    pub fn new(cfg: FedMlConfig) -> Self {
+        FedMl { cfg }
+    }
+
+    /// Borrow of the configuration.
+    pub fn config(&self) -> &FedMlConfig {
+        &self.cfg
+    }
+
+    /// Runs Algorithm 1 from an explicit initialization `θ⁰` (the platform
+    /// normally draws it randomly; see [`FederatedTrainer::train`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tasks` is empty or `theta0` has the wrong length.
+    pub fn train_from(
+        &self,
+        model: &dyn Model,
+        tasks: &[SourceTask],
+        theta0: &[f64],
+    ) -> TrainOutput {
+        assert!(!tasks.is_empty(), "FedMl: no source tasks");
+        assert_eq!(theta0.len(), model.param_len(), "FedMl: bad theta0 length");
+        let cfg = &self.cfg;
+        let mut locals: Vec<Vec<f64>> = vec![theta0.to_vec(); tasks.len()];
+        let mut history = Vec::new();
+        let mut comm_rounds = 0;
+        let total = cfg.total_iterations();
+
+        for t in 1..=total {
+            for (task, theta_i) in tasks.iter().zip(locals.iter_mut()) {
+                let g = meta::meta_gradient(
+                    model,
+                    theta_i,
+                    &task.split.train,
+                    &task.split.test,
+                    cfg.alpha,
+                    cfg.mode,
+                );
+                fml_linalg::vector::axpy(-cfg.beta, &g, theta_i);
+            }
+            let aggregated = t % cfg.local_steps == 0;
+            if aggregated {
+                let global = aggregate(tasks, &locals);
+                for theta_i in &mut locals {
+                    theta_i.copy_from_slice(&global);
+                }
+                comm_rounds += 1;
+            }
+            let record =
+                aggregated || (cfg.record_every > 0 && t % cfg.record_every == 0) || t == total;
+            if record {
+                let avg = aggregate(tasks, &locals);
+                history.push(RoundRecord {
+                    iteration: t,
+                    meta_loss: weighted_meta_loss(model, tasks, &avg, cfg.alpha),
+                    train_loss: weighted_train_loss(model, tasks, &avg),
+                    aggregated,
+                });
+            }
+        }
+
+        let params = aggregate(tasks, &locals);
+        TrainOutput {
+            params,
+            history,
+            comm_rounds,
+            local_iterations: total,
+        }
+    }
+
+    /// Runs `steps` local meta-update iterations for a single node from
+    /// `theta` and returns the node's updated parameters — the unit of
+    /// work a (simulated or real) edge device performs between uploads.
+    /// Used by the `fml-sim` executor so the distributed runtime and the
+    /// sequential reference implementation share one algorithm body.
+    pub fn local_update(
+        &self,
+        model: &dyn Model,
+        task: &SourceTask,
+        theta: &[f64],
+        steps: usize,
+    ) -> Vec<f64> {
+        let cfg = &self.cfg;
+        let mut theta_i = theta.to_vec();
+        for _ in 0..steps {
+            let g = meta::meta_gradient(
+                model,
+                &theta_i,
+                &task.split.train,
+                &task.split.test,
+                cfg.alpha,
+                cfg.mode,
+            );
+            fml_linalg::vector::axpy(-cfg.beta, &g, &mut theta_i);
+        }
+        theta_i
+    }
+
+    /// Centralized meta-gradient descent on the same objective — used to
+    /// estimate the optimum `G(θ*)` for convergence-gap plots
+    /// (equivalent to `T0 = 1` with exact aggregation every step).
+    pub fn centralized_optimum(
+        &self,
+        model: &dyn Model,
+        tasks: &[SourceTask],
+        theta0: &[f64],
+        iterations: usize,
+    ) -> (Vec<f64>, f64) {
+        let cfg = &self.cfg;
+        let mut theta = theta0.to_vec();
+        for _ in 0..iterations {
+            let mut g = vec![0.0; theta.len()];
+            for task in tasks {
+                let gi = meta::meta_gradient(
+                    model,
+                    &theta,
+                    &task.split.train,
+                    &task.split.test,
+                    cfg.alpha,
+                    cfg.mode,
+                );
+                fml_linalg::vector::axpy(task.weight, &gi, &mut g);
+            }
+            fml_linalg::vector::axpy(-cfg.beta, &g, &mut theta);
+        }
+        let loss = weighted_meta_loss(model, tasks, &theta, cfg.alpha);
+        (theta, loss)
+    }
+}
+
+impl FederatedTrainer for FedMl {
+    fn train(&self, model: &dyn Model, tasks: &[SourceTask], rng: &mut StdRng) -> TrainOutput {
+        let theta0 = model.init_params(rng);
+        self.train_from(model, tasks, &theta0)
+    }
+
+    fn name(&self) -> &'static str {
+        "FedML"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fml_data::NodeData;
+    use fml_linalg::Matrix;
+    use fml_models::{Batch, Quadratic, SoftmaxRegression};
+    use rand::SeedableRng;
+
+    fn quad_tasks(centers: &[(f64, f64)]) -> Vec<SourceTask> {
+        let nodes: Vec<NodeData> = centers
+            .iter()
+            .enumerate()
+            .map(|(id, &(a, b))| {
+                let rows: Vec<Vec<f64>> = (0..4).map(|_| vec![a, b]).collect();
+                let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                NodeData {
+                    id,
+                    batch: Batch::regression(Matrix::from_rows(&refs).unwrap(), vec![0.0; 4])
+                        .unwrap(),
+                }
+            })
+            .collect();
+        SourceTask::from_nodes_deterministic(&nodes, 2)
+    }
+
+    #[test]
+    fn config_validation_and_builders() {
+        let cfg = FedMlConfig::new(0.01, 0.02)
+            .with_local_steps(10)
+            .with_rounds(7)
+            .with_record_every(5);
+        assert_eq!(cfg.total_iterations(), 70);
+        let cfg2 = FedMlConfig::new(0.01, 0.02)
+            .with_local_steps(10)
+            .with_total_iterations(95);
+        assert_eq!(cfg2.rounds, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rates must be positive")]
+    fn rejects_zero_rates() {
+        FedMlConfig::new(0.0, 0.1);
+    }
+
+    #[test]
+    fn converges_on_symmetric_quadratics() {
+        // Two tasks with opposite centers: the meta optimum is the
+        // midpoint (0,0) by symmetry.
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(2.0, 0.0), (-2.0, 0.0)]);
+        let cfg = FedMlConfig::new(0.1, 0.2)
+            .with_local_steps(2)
+            .with_rounds(100);
+        let out = FedMl::new(cfg).train_from(&model, &tasks, &[1.5, 1.5]);
+        assert!(
+            fml_linalg::vector::norm2(&out.params) < 1e-3,
+            "params should converge to origin, got {:?}",
+            out.params
+        );
+        assert_eq!(out.comm_rounds, 100);
+        assert_eq!(out.local_iterations, 200);
+    }
+
+    #[test]
+    fn meta_loss_decreases_over_training() {
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(1.0, 1.0), (1.0, -1.0), (-1.0, 0.0)]);
+        let cfg = FedMlConfig::new(0.1, 0.1)
+            .with_local_steps(5)
+            .with_rounds(30);
+        let out = FedMl::new(cfg).train_from(&model, &tasks, &[3.0, 3.0]);
+        let first = out.history.first().unwrap().meta_loss;
+        let last = out.history.last().unwrap().meta_loss;
+        assert!(last < first, "meta loss should decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn aggregation_happens_every_t0_iterations() {
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(1.0, 0.0), (-1.0, 0.0)]);
+        let cfg = FedMlConfig::new(0.1, 0.1)
+            .with_local_steps(4)
+            .with_rounds(3);
+        let out = FedMl::new(cfg).train_from(&model, &tasks, &[0.5, 0.5]);
+        let agg_iters: Vec<usize> = out
+            .history
+            .iter()
+            .filter(|r| r.aggregated)
+            .map(|r| r.iteration)
+            .collect();
+        assert_eq!(agg_iters, vec![4, 8, 12]);
+    }
+
+    #[test]
+    fn t0_equals_one_matches_centralized_descent() {
+        // Corollary 1 regime: with T0 = 1 the federated iterates equal
+        // centralized meta-gradient descent exactly (weighted averaging of
+        // per-node updates from a shared iterate is one centralized step).
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(1.0, 2.0), (-2.0, 1.0)]);
+        let cfg = FedMlConfig::new(0.1, 0.15)
+            .with_local_steps(1)
+            .with_rounds(25);
+        let fed = FedMl::new(cfg).train_from(&model, &tasks, &[1.0, -1.0]);
+        let (central, _) = FedMl::new(cfg).centralized_optimum(&model, &tasks, &[1.0, -1.0], 25);
+        assert!(
+            fml_linalg::vector::approx_eq(&fed.params, &central, 1e-10),
+            "T0=1 FedML must equal centralized descent: {:?} vs {:?}",
+            fed.params,
+            central
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = SoftmaxRegression::new(4, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let fed = fml_data::synthetic::SyntheticConfig::new(0.5, 0.5)
+            .with_nodes(4)
+            .with_dim(4)
+            .with_classes(3)
+            .generate(&mut rng);
+        let tasks = SourceTask::from_nodes_deterministic(fed.nodes(), 3);
+        let cfg = FedMlConfig::new(0.01, 0.01)
+            .with_rounds(2)
+            .with_local_steps(3);
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(1);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(1);
+        let a = FedMl::new(cfg).train(&model, &tasks, &mut r1);
+        let b = FedMl::new(cfg).train(&model, &tasks, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn first_order_mode_also_trains() {
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(1.0, 0.0), (-1.0, 0.0)]);
+        let cfg = FedMlConfig::new(0.1, 0.1)
+            .with_local_steps(2)
+            .with_rounds(50)
+            .with_mode(MetaGradientMode::FirstOrder);
+        let out = FedMl::new(cfg).train_from(&model, &tasks, &[2.0, 2.0]);
+        assert!(fml_linalg::vector::norm2(&out.params) < 0.05);
+    }
+
+    #[test]
+    fn record_every_zero_records_only_aggregations() {
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(1.0, 0.0), (-1.0, 0.0)]);
+        let cfg = FedMlConfig::new(0.1, 0.1)
+            .with_local_steps(5)
+            .with_rounds(4)
+            .with_record_every(0);
+        let out = FedMl::new(cfg).train_from(&model, &tasks, &[0.0, 0.0]);
+        assert_eq!(out.history.len(), 4);
+        assert!(out.history.iter().all(|r| r.aggregated));
+    }
+
+    #[test]
+    fn trainer_name() {
+        assert_eq!(FedMl::new(FedMlConfig::new(0.01, 0.01)).name(), "FedML");
+    }
+}

@@ -1,0 +1,283 @@
+//! Classification evaluation metrics beyond plain accuracy.
+//!
+//! The paper's figures report loss and accuracy; a deployed edge system
+//! also needs per-class behaviour (a target node usually holds a skewed
+//! class subset) and *calibration* (the adapted model's confidence drives
+//! downstream decisions). This module provides a [`ConfusionMatrix`] with
+//! per-class precision/recall/F1 and the expected calibration error
+//! ([`expected_calibration_error`]).
+
+use fml_models::{Batch, Model, Prediction};
+use serde::{Deserialize, Serialize};
+
+/// A `classes × classes` confusion matrix (`rows = true class`,
+/// `columns = predicted class`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "ConfusionMatrix: need at least one class");
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Evaluates a model on a batch and tallies its predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the batch holds regression targets or labels out of
+    /// range.
+    pub fn evaluate(model: &dyn Model, params: &[f64], batch: &Batch, classes: usize) -> Self {
+        let mut cm = ConfusionMatrix::new(classes);
+        for (x, y) in batch.iter() {
+            let truth = y.expect_class();
+            if let Prediction::Class { label, .. } = model.predict(params, x) {
+                cm.record(truth, label);
+            }
+        }
+        cm
+    }
+
+    /// Tallies one `(true, predicted)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either label is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(
+            truth < self.classes && predicted < self.classes,
+            "label out of range"
+        );
+        self.counts[truth * self.classes + predicted] += 1;
+    }
+
+    /// Count for `(true, predicted)`.
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.classes + predicted]
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Total samples tallied.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Precision of class `c` (`None` when `c` was never predicted).
+    pub fn precision(&self, c: usize) -> Option<f64> {
+        let predicted: u64 = (0..self.classes).map(|t| self.count(t, c)).sum();
+        if predicted == 0 {
+            return None;
+        }
+        Some(self.count(c, c) as f64 / predicted as f64)
+    }
+
+    /// Recall of class `c` (`None` when `c` never appears as truth).
+    pub fn recall(&self, c: usize) -> Option<f64> {
+        let actual: u64 = (0..self.classes).map(|p| self.count(c, p)).sum();
+        if actual == 0 {
+            return None;
+        }
+        Some(self.count(c, c) as f64 / actual as f64)
+    }
+
+    /// F1 of class `c` (`None` when undefined).
+    pub fn f1(&self, c: usize) -> Option<f64> {
+        let p = self.precision(c)?;
+        let r = self.recall(c)?;
+        if p + r == 0.0 {
+            return Some(0.0);
+        }
+        Some(2.0 * p * r / (p + r))
+    }
+
+    /// Macro-averaged F1 over the classes where it is defined; 0 when it
+    /// is defined for none.
+    pub fn macro_f1(&self) -> f64 {
+        let defined: Vec<f64> = (0..self.classes).filter_map(|c| self.f1(c)).collect();
+        if defined.is_empty() {
+            return 0.0;
+        }
+        defined.iter().sum::<f64>() / defined.len() as f64
+    }
+}
+
+/// Expected calibration error with equal-width confidence bins:
+/// `Σ_b (n_b / n) · |acc(b) − conf(b)|`.
+///
+/// A perfectly calibrated classifier has ECE 0: among predictions made
+/// with confidence ~0.8, 80% are correct.
+///
+/// # Panics
+///
+/// Panics when `bins == 0` or the batch holds regression targets.
+pub fn expected_calibration_error(
+    model: &dyn Model,
+    params: &[f64],
+    batch: &Batch,
+    bins: usize,
+) -> f64 {
+    assert!(bins > 0, "ece: need at least one bin");
+    if batch.is_empty() {
+        return 0.0;
+    }
+    let mut bin_total = vec![0u64; bins];
+    let mut bin_correct = vec![0u64; bins];
+    let mut bin_confidence = vec![0.0f64; bins];
+    for (x, y) in batch.iter() {
+        if let Prediction::Class { label, probs } = model.predict(params, x) {
+            let confidence = probs[label];
+            let b = ((confidence * bins as f64) as usize).min(bins - 1);
+            bin_total[b] += 1;
+            bin_confidence[b] += confidence;
+            if label == y.expect_class() {
+                bin_correct[b] += 1;
+            }
+        }
+    }
+    let n = batch.len() as f64;
+    (0..bins)
+        .filter(|&b| bin_total[b] > 0)
+        .map(|b| {
+            let nb = bin_total[b] as f64;
+            let acc = bin_correct[b] as f64 / nb;
+            let conf = bin_confidence[b] / nb;
+            nb / n * (acc - conf).abs()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fml_linalg::Matrix;
+    use fml_models::SoftmaxRegression;
+
+    #[test]
+    fn confusion_counts_and_accuracy() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(1, 1);
+        cm.record(2, 0);
+        assert_eq!(cm.total(), 5);
+        assert_eq!(cm.count(0, 1), 1);
+        assert!((cm.accuracy() - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let mut cm = ConfusionMatrix::new(2);
+        // truth 0: predicted 0 ×3, predicted 1 ×1
+        // truth 1: predicted 0 ×2, predicted 1 ×4
+        for _ in 0..3 {
+            cm.record(0, 0);
+        }
+        cm.record(0, 1);
+        for _ in 0..2 {
+            cm.record(1, 0);
+        }
+        for _ in 0..4 {
+            cm.record(1, 1);
+        }
+        assert!((cm.precision(0).unwrap() - 3.0 / 5.0).abs() < 1e-12);
+        assert!((cm.recall(0).unwrap() - 3.0 / 4.0).abs() < 1e-12);
+        assert!((cm.precision(1).unwrap() - 4.0 / 5.0).abs() < 1e-12);
+        assert!((cm.recall(1).unwrap() - 4.0 / 6.0).abs() < 1e-12);
+        let f1_0 = cm.f1(0).unwrap();
+        assert!((f1_0 - 2.0 * 0.6 * 0.75 / 1.35).abs() < 1e-12);
+        assert!(cm.macro_f1() > 0.0);
+    }
+
+    #[test]
+    fn undefined_classes_return_none() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        assert_eq!(cm.precision(1), None, "class 1 never predicted");
+        assert_eq!(cm.recall(2), None, "class 2 never true");
+        // Macro-F1 averages only defined classes.
+        assert!((cm.macro_f1() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_against_a_model() {
+        // w separates x>0 (class 1) from x<0 (class 0) perfectly.
+        let model = SoftmaxRegression::new(1, 2);
+        let params = vec![-5.0, 5.0, 0.0, 0.0]; // W = [[-5],[5]], b = 0
+        let xs = Matrix::from_rows(&[&[1.0], &[2.0], &[-1.0], &[-2.0]]).unwrap();
+        let batch = Batch::classification(xs, vec![1, 1, 0, 0]).unwrap();
+        let cm = ConfusionMatrix::evaluate(&model, &params, &batch, 2);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn ece_zero_for_confident_correct_model() {
+        let model = SoftmaxRegression::new(1, 2);
+        let params = vec![-50.0, 50.0, 0.0, 0.0]; // near-certain predictions
+        let xs = Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap();
+        let batch = Batch::classification(xs, vec![1, 0]).unwrap();
+        let ece = expected_calibration_error(&model, &params, &batch, 10);
+        assert!(ece < 1e-6, "ece {ece}");
+    }
+
+    #[test]
+    fn ece_large_for_confident_wrong_model() {
+        let model = SoftmaxRegression::new(1, 2);
+        let params = vec![50.0, -50.0, 0.0, 0.0]; // confidently inverted
+        let xs = Matrix::from_rows(&[&[1.0], &[-1.0]]).unwrap();
+        let batch = Batch::classification(xs, vec![1, 0]).unwrap();
+        let ece = expected_calibration_error(&model, &params, &batch, 10);
+        assert!(ece > 0.9, "ece {ece}");
+    }
+
+    #[test]
+    fn ece_empty_batch_is_zero() {
+        let model = SoftmaxRegression::new(1, 2);
+        let params = vec![0.0; 4];
+        assert_eq!(
+            expected_calibration_error(&model, &params, &Batch::empty(1), 10),
+            0.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn rejects_zero_classes() {
+        ConfusionMatrix::new(0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(1, 0);
+        let json = serde_json::to_string(&cm).unwrap();
+        let back: ConfusionMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(cm, back);
+    }
+}

@@ -1,0 +1,117 @@
+use fml_data::{NodeData, TaskSplit};
+use rand::Rng;
+
+/// A source edge node prepared for meta-training: its `D_i^train` /
+/// `D_i^test` split and its aggregation weight `ω_i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceTask {
+    /// Originating node id.
+    pub id: usize,
+    /// The K-shot support/query split of the node's data.
+    pub split: TaskSplit,
+    /// Aggregation weight `ω_i = |D_i| / Σ_j |D_j|` (eq. 2).
+    pub weight: f64,
+}
+
+impl SourceTask {
+    /// Prepares source tasks from raw node datasets: draws a random
+    /// `k`-shot support/query split per node and computes size-proportional
+    /// weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is empty or any node has fewer than 2 samples.
+    pub fn from_nodes<R: Rng + ?Sized>(nodes: &[NodeData], k: usize, rng: &mut R) -> Vec<Self> {
+        assert!(!nodes.is_empty(), "SourceTask: no nodes");
+        let total: usize = nodes.iter().map(|n| n.batch.len()).sum();
+        nodes
+            .iter()
+            .map(|n| SourceTask {
+                id: n.id,
+                split: TaskSplit::sample(&n.batch, k, rng),
+                weight: n.batch.len() as f64 / total as f64,
+            })
+            .collect()
+    }
+
+    /// Deterministic variant of [`from_nodes`](Self::from_nodes) (first `k`
+    /// samples become the support set) — useful in tests and reproducible
+    /// benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is empty or any node has fewer than 2 samples.
+    pub fn from_nodes_deterministic(nodes: &[NodeData], k: usize) -> Vec<Self> {
+        assert!(!nodes.is_empty(), "SourceTask: no nodes");
+        let total: usize = nodes.iter().map(|n| n.batch.len()).sum();
+        nodes
+            .iter()
+            .map(|n| SourceTask {
+                id: n.id,
+                split: TaskSplit::deterministic(&n.batch, k),
+                weight: n.batch.len() as f64 / total as f64,
+            })
+            .collect()
+    }
+
+    /// Total samples in this task (support + query).
+    pub fn len(&self) -> usize {
+        self.split.train.len() + self.split.test.len()
+    }
+
+    /// True when the task holds no samples (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fml_linalg::Matrix;
+    use fml_models::Batch;
+    use rand::SeedableRng;
+
+    fn nodes(sizes: &[usize]) -> Vec<NodeData> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(id, &n)| NodeData {
+                id,
+                batch: Batch::classification(Matrix::zeros(n, 2), vec![0; n]).unwrap(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn weights_are_size_proportional() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let tasks = SourceTask::from_nodes(&nodes(&[10, 30]), 3, &mut rng);
+        assert!((tasks[0].weight - 0.25).abs() < 1e-12);
+        assert!((tasks[1].weight - 0.75).abs() < 1e-12);
+        assert!((tasks.iter().map(|t| t.weight).sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_sizes_respect_k() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let tasks = SourceTask::from_nodes(&nodes(&[12]), 4, &mut rng);
+        assert_eq!(tasks[0].split.train.len(), 4);
+        assert_eq!(tasks[0].split.test.len(), 8);
+        assert_eq!(tasks[0].len(), 12);
+        assert!(!tasks[0].is_empty());
+    }
+
+    #[test]
+    fn deterministic_variant_is_stable() {
+        let a = SourceTask::from_nodes_deterministic(&nodes(&[8, 9]), 3);
+        let b = SourceTask::from_nodes_deterministic(&nodes(&[8, 9]), 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "no nodes")]
+    fn rejects_empty_node_list() {
+        SourceTask::from_nodes_deterministic(&[], 3);
+    }
+}

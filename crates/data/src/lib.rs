@@ -1,0 +1,34 @@
+//! Federated dataset generators and partitioners.
+//!
+//! Reproduces the three workloads of the paper's evaluation (§VI-A):
+//!
+//! * [`synthetic`] — the Synthetic(α̃, β̃) generator, implemented exactly as
+//!   specified: per-node softmax ground-truth models
+//!   `y = argmax(softmax(Wx + b))` with `W_i, b_i ~ N(u_i, 1)`,
+//!   `u_i ~ N(0, α̃)`, inputs `x ~ N(v_i, Σ)`, `Σ_kk = k^{−1.2}`,
+//!   `v_i ~ N(B_i, 1)`, `B_i ~ N(0, β̃)`; 50 nodes with power-law sizes.
+//! * [`mnist_like`] — a class-conditional Gaussian image generator standing
+//!   in for MNIST (see `DESIGN.md` for the substitution rationale), with
+//!   the paper's partition: 100 nodes, **two digits per node**, power-law
+//!   sizes.
+//! * [`sent140_like`] — a synthetic stand-in for Sent140: 706 "users",
+//!   character sequences embedded by a frozen random embedding table
+//!   (playing frozen GloVe's role), mean-pooled, labelled by per-user
+//!   teacher MLPs that share a global component.
+//!
+//! Plus the plumbing every experiment needs: [`Federation`] (a named set of
+//! per-node [`fml_models::Batch`]es), source/target node splits, K-shot
+//! support/query splits ([`TaskSplit`]), power-law size sampling, and
+//! Table-I statistics ([`FederationStats`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod federation;
+pub mod mnist_like;
+pub mod partition;
+pub mod sent140_like;
+pub mod shared_synthetic;
+pub mod synthetic;
+
+pub use federation::{Federation, FederationStats, NodeData, TaskSplit};

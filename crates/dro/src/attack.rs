@@ -1,0 +1,262 @@
+//! Evaluation-time adversarial attacks.
+//!
+//! The paper evaluates robustness by attacking the *adapted* model at the
+//! target node with the **Fast Gradient Sign Method** (Goodfellow et al.)
+//! parameterized by `ξ`; Figure 4(e) sweeps `ξ`. PGD is included as the
+//! stronger multi-step attack for the extended robustness ablation.
+
+use fml_models::{Batch, Model, Target};
+
+/// Optional box constraint applied after each perturbation step (e.g.
+/// pixel range `[0, 1]` for image data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoxConstraint {
+    /// No clamping.
+    None,
+    /// Clamp every coordinate into `[lo, hi]`.
+    Clamp {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+}
+
+impl BoxConstraint {
+    /// Applies the constraint to a point in place.
+    pub fn apply(self, x: &mut [f64]) {
+        if let BoxConstraint::Clamp { lo, hi } = self {
+            fml_linalg::vector::clamp_in_place(x, lo, hi);
+        }
+    }
+}
+
+/// One-step FGSM perturbation of a single input:
+/// `x_adv = x + ξ·sign(∇ₓ l(θ, (x, y)))`.
+pub fn fgsm(
+    model: &dyn Model,
+    params: &[f64],
+    x: &[f64],
+    y: Target,
+    xi: f64,
+    constraint: BoxConstraint,
+) -> Vec<f64> {
+    let g = model.input_grad(params, x, y);
+    let s = fml_linalg::vector::sign(&g);
+    let mut adv = x.to_vec();
+    fml_linalg::vector::axpy(xi, &s, &mut adv);
+    constraint.apply(&mut adv);
+    adv
+}
+
+/// FGSM applied to every sample of a batch; returns the perturbed batch
+/// (labels unchanged).
+pub fn fgsm_batch(
+    model: &dyn Model,
+    params: &[f64],
+    batch: &Batch,
+    xi: f64,
+    constraint: BoxConstraint,
+) -> Batch {
+    let mut out = batch.clone();
+    for i in 0..batch.len() {
+        let adv = fgsm(
+            model,
+            params,
+            batch.feature(i),
+            batch.target(i),
+            xi,
+            constraint,
+        );
+        out.set_feature(i, &adv);
+    }
+    out
+}
+
+/// Projected gradient descent attack: `steps` FGSM-style steps of size
+/// `step_size`, each projected back into the L∞ ball of radius `xi`
+/// around the clean input (the standard PGD-∞ formulation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pgd {
+    /// L∞ perturbation budget.
+    pub xi: f64,
+    /// Step size per iteration.
+    pub step_size: f64,
+    /// Number of iterations.
+    pub steps: usize,
+    /// Box constraint applied after each step.
+    pub constraint: BoxConstraint,
+}
+
+impl Pgd {
+    /// A standard configuration: `steps` iterations at `2.5·ξ/steps`.
+    pub fn new(xi: f64, steps: usize) -> Self {
+        assert!(steps > 0, "Pgd: need at least one step");
+        Pgd {
+            xi,
+            step_size: 2.5 * xi / steps as f64,
+            steps,
+            constraint: BoxConstraint::None,
+        }
+    }
+
+    /// Sets the box constraint.
+    pub fn with_constraint(mut self, c: BoxConstraint) -> Self {
+        self.constraint = c;
+        self
+    }
+
+    /// Attacks one input.
+    pub fn perturb(&self, model: &dyn Model, params: &[f64], x: &[f64], y: Target) -> Vec<f64> {
+        let mut adv = x.to_vec();
+        for _ in 0..self.steps {
+            let g = model.input_grad(params, &adv, y);
+            let s = fml_linalg::vector::sign(&g);
+            fml_linalg::vector::axpy(self.step_size, &s, &mut adv);
+            // Project onto the L∞ ball around the clean input.
+            for (a, &c) in adv.iter_mut().zip(x) {
+                *a = a.clamp(c - self.xi, c + self.xi);
+            }
+            self.constraint.apply(&mut adv);
+        }
+        adv
+    }
+
+    /// Attacks every sample of a batch.
+    pub fn perturb_batch(&self, model: &dyn Model, params: &[f64], batch: &Batch) -> Batch {
+        let mut out = batch.clone();
+        for i in 0..batch.len() {
+            let adv = self.perturb(model, params, batch.feature(i), batch.target(i));
+            out.set_feature(i, &adv);
+        }
+        out
+    }
+}
+
+/// Accuracy of `model` on an FGSM-attacked copy of `batch` — the paper's
+/// Figure 4(d) metric.
+pub fn fgsm_accuracy(
+    model: &dyn Model,
+    params: &[f64],
+    batch: &Batch,
+    xi: f64,
+    constraint: BoxConstraint,
+) -> f64 {
+    let adv = fgsm_batch(model, params, batch, xi, constraint);
+    model.accuracy(params, &adv)
+}
+
+/// Loss of `model` on an FGSM-attacked copy of `batch` — the paper's
+/// Figure 4(b) metric.
+pub fn fgsm_loss(
+    model: &dyn Model,
+    params: &[f64],
+    batch: &Batch,
+    xi: f64,
+    constraint: BoxConstraint,
+) -> f64 {
+    let adv = fgsm_batch(model, params, batch, xi, constraint);
+    model.loss(params, &adv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fml_linalg::Matrix;
+    use fml_models::{LogisticRegression, SoftmaxRegression};
+    use rand::SeedableRng;
+
+    fn trained_logistic() -> (LogisticRegression, Vec<f64>, Batch) {
+        let model = LogisticRegression::new(2);
+        let xs =
+            Matrix::from_rows(&[&[1.0, 0.5], &[2.0, 1.0], &[-1.0, -0.5], &[-2.0, -1.0]]).unwrap();
+        let batch = Batch::classification(xs, vec![1, 1, 0, 0]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut p = model.init_params(&mut rng);
+        for _ in 0..400 {
+            let g = model.grad(&p, &batch);
+            fml_linalg::vector::axpy(-0.5, &g, &mut p);
+        }
+        (model, p, batch)
+    }
+
+    #[test]
+    fn fgsm_increases_loss() {
+        let (model, p, batch) = trained_logistic();
+        let clean = model.loss(&p, &batch);
+        let adv = fgsm_loss(&model, &p, &batch, 0.3, BoxConstraint::None);
+        assert!(adv > clean, "FGSM should increase loss: {clean} -> {adv}");
+    }
+
+    #[test]
+    fn fgsm_perturbation_is_bounded_by_xi_in_linf() {
+        let (model, p, batch) = trained_logistic();
+        let adv = fgsm_batch(&model, &p, &batch, 0.2, BoxConstraint::None);
+        for i in 0..batch.len() {
+            let d: Vec<f64> = fml_linalg::vector::sub(adv.feature(i), batch.feature(i));
+            assert!(fml_linalg::vector::norm_inf(&d) <= 0.2 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_xi_is_identity() {
+        let (model, p, batch) = trained_logistic();
+        let adv = fgsm_batch(&model, &p, &batch, 0.0, BoxConstraint::None);
+        assert_eq!(adv, batch);
+    }
+
+    #[test]
+    fn clamp_keeps_pixels_in_unit_box() {
+        let model = SoftmaxRegression::new(3, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = model.init_params(&mut rng);
+        let adv = fgsm(
+            &model,
+            &p,
+            &[0.99, 0.01, 0.5],
+            Target::Class(0),
+            0.5,
+            BoxConstraint::Clamp { lo: 0.0, hi: 1.0 },
+        );
+        assert!(adv.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn pgd_is_at_least_as_strong_as_fgsm() {
+        let (model, p, batch) = trained_logistic();
+        let xi = 0.3;
+        let fg = fgsm_loss(&model, &p, &batch, xi, BoxConstraint::None);
+        let pgd = Pgd::new(xi, 10);
+        let adv = pgd.perturb_batch(&model, &p, &batch);
+        let pg = model.loss(&p, &adv);
+        assert!(
+            pg >= fg - 1e-6,
+            "multi-step PGD should not be weaker: fgsm {fg}, pgd {pg}"
+        );
+    }
+
+    #[test]
+    fn pgd_respects_budget() {
+        let (model, p, batch) = trained_logistic();
+        let pgd = Pgd::new(0.15, 8);
+        let adv = pgd.perturb_batch(&model, &p, &batch);
+        for i in 0..batch.len() {
+            let d = fml_linalg::vector::sub(adv.feature(i), batch.feature(i));
+            assert!(fml_linalg::vector::norm_inf(&d) <= 0.15 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fgsm_accuracy_not_above_clean_accuracy() {
+        let (model, p, batch) = trained_logistic();
+        let clean = model.accuracy(&p, &batch);
+        let attacked = fgsm_accuracy(&model, &p, &batch, 0.5, BoxConstraint::None);
+        assert!(attacked <= clean + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn pgd_rejects_zero_steps() {
+        Pgd::new(0.1, 0);
+    }
+}

@@ -1,0 +1,161 @@
+use fml_models::Target;
+
+/// Ground transportation cost `c((x, y), (x₀, y₀))` on the sample space.
+///
+/// Costs must be non-negative, zero on the diagonal
+/// (`c((x,y),(x,y)) = 0`), and differentiable in `x` wherever finite —
+/// the adversarial ascent uses [`grad_x`](TransportCost::grad_x).
+pub trait TransportCost: Send + Sync + std::fmt::Debug {
+    /// Cost of transporting mass from `(x0, y0)` to `(x, y)`.
+    ///
+    /// Returns `f64::INFINITY` for moves the cost forbids (e.g. label
+    /// changes under [`SquaredL2Cost`]).
+    fn cost(&self, x: &[f64], y: Target, x0: &[f64], y0: Target) -> f64;
+
+    /// Gradient of the cost with respect to `x` (holding labels fixed).
+    fn grad_x(&self, x: &[f64], x0: &[f64]) -> Vec<f64>;
+
+    /// Strong-convexity modulus of `x ↦ c((x, y₀), (x₀, y₀))`.
+    ///
+    /// Assumption 5 of the paper requires 1-strong convexity; the value
+    /// enters the `λ ≥ H_xx + …` threshold of Theorem 4.
+    fn strong_convexity(&self) -> f64;
+}
+
+/// The paper's evaluation cost:
+/// `c((x, y), (x′, y′)) = ‖x − x′‖₂² + ∞·1(y ≠ y′)`.
+///
+/// Only feature perturbations are allowed; any label flip has infinite
+/// cost, so the worst-case distribution keeps labels intact. The feature
+/// part is 2-strongly convex.
+///
+/// # Examples
+///
+/// ```
+/// use fml_dro::{SquaredL2Cost, TransportCost};
+/// use fml_models::Target;
+///
+/// let c = SquaredL2Cost;
+/// let same = c.cost(&[1.0, 0.0], Target::Class(1), &[0.0, 0.0], Target::Class(1));
+/// assert_eq!(same, 1.0);
+/// let flip = c.cost(&[0.0, 0.0], Target::Class(0), &[0.0, 0.0], Target::Class(1));
+/// assert!(flip.is_infinite());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SquaredL2Cost;
+
+impl TransportCost for SquaredL2Cost {
+    fn cost(&self, x: &[f64], y: Target, x0: &[f64], y0: Target) -> f64 {
+        let label_match = match (y, y0) {
+            (Target::Class(a), Target::Class(b)) => a == b,
+            (Target::Value(a), Target::Value(b)) => a == b,
+            _ => false,
+        };
+        if !label_match {
+            return f64::INFINITY;
+        }
+        let d = fml_linalg::vector::dist2(x, x0);
+        d * d
+    }
+
+    fn grad_x(&self, x: &[f64], x0: &[f64]) -> Vec<f64> {
+        // ∇_x ‖x − x₀‖² = 2(x − x₀)
+        x.iter().zip(x0).map(|(a, b)| 2.0 * (a - b)).collect()
+    }
+
+    fn strong_convexity(&self) -> f64 {
+        2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_on_diagonal() {
+        let c = SquaredL2Cost;
+        assert_eq!(
+            c.cost(&[1.0, 2.0], Target::Class(3), &[1.0, 2.0], Target::Class(3)),
+            0.0
+        );
+        assert_eq!(
+            c.cost(&[0.5], Target::Value(1.0), &[0.5], Target::Value(1.0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn label_flip_costs_infinity() {
+        let c = SquaredL2Cost;
+        assert!(c
+            .cost(&[0.0], Target::Class(0), &[0.0], Target::Class(1))
+            .is_infinite());
+        assert!(c
+            .cost(&[0.0], Target::Value(0.0), &[0.0], Target::Value(1.0))
+            .is_infinite());
+        // Mixed kinds never match.
+        assert!(c
+            .cost(&[0.0], Target::Class(0), &[0.0], Target::Value(0.0))
+            .is_infinite());
+    }
+
+    #[test]
+    fn grad_points_away_from_anchor() {
+        let c = SquaredL2Cost;
+        let g = c.grad_x(&[3.0, 0.0], &[1.0, 0.0]);
+        assert_eq!(g, vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let c = SquaredL2Cost;
+        let x = [0.7, -1.2, 0.3];
+        let x0 = [0.1, 0.4, -0.2];
+        let g = c.grad_x(&x, &x0);
+        let eps = 1e-6;
+        for i in 0..x.len() {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let num = (c.cost(&xp, Target::Class(0), &x0, Target::Class(0))
+                - c.cost(&xm, Target::Class(0), &x0, Target::Class(0)))
+                / (2.0 * eps);
+            assert!((g[i] - num).abs() < 1e-5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cost_nonnegative_and_symmetric(
+            x in proptest::collection::vec(-10.0f64..10.0, 1..6),
+        ) {
+            let x0: Vec<f64> = x.iter().map(|v| v * 0.5 + 1.0).collect();
+            let c = SquaredL2Cost;
+            let fwd = c.cost(&x, Target::Class(0), &x0, Target::Class(0));
+            let back = c.cost(&x0, Target::Class(0), &x, Target::Class(0));
+            prop_assert!(fwd >= 0.0);
+            prop_assert!((fwd - back).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_strong_convexity_inequality(
+            a in proptest::collection::vec(-5.0f64..5.0, 3),
+            b in proptest::collection::vec(-5.0f64..5.0, 3),
+            t in 0.0f64..1.0,
+        ) {
+            // f(ta + (1−t)b) ≤ t f(a) + (1−t) f(b) − (m/2) t(1−t)‖a−b‖²
+            let c = SquaredL2Cost;
+            let x0 = vec![0.0; 3];
+            let mix: Vec<f64> = a.iter().zip(&b).map(|(u, v)| t * u + (1.0 - t) * v).collect();
+            let f = |p: &[f64]| c.cost(p, Target::Class(0), &x0, Target::Class(0));
+            let gap = fml_linalg::vector::dist2(&a, &b);
+            let lhs = f(&mix);
+            let rhs = t * f(&a) + (1.0 - t) * f(&b)
+                - 0.5 * c.strong_convexity() * t * (1.0 - t) * gap * gap;
+            prop_assert!(lhs <= rhs + 1e-9);
+        }
+    }
+}

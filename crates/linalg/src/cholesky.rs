@@ -1,0 +1,172 @@
+//! Cholesky factorization and SPD solves.
+//!
+//! The convergence-theory validation harness (Theorem 2 / Theorem 3 checks)
+//! needs exact minimizers of strongly convex quadratic losses
+//! `½θᵀAθ − bᵀθ`; those are obtained by solving `Aθ = b` through the
+//! factorization implemented here.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+///
+/// # Examples
+///
+/// ```
+/// use fml_linalg::{Matrix, cholesky::Cholesky};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let ch = Cholesky::factor(&a)?;
+/// let x = ch.solve(&[8.0, 7.0]);
+/// // A·x == b
+/// let back = a.matvec(&x);
+/// assert!((back[0] - 8.0).abs() < 1e-12 && (back[1] - 7.0).abs() < 1e-12);
+/// # Ok::<(), fml_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix `A = L·Lᵀ`.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is the caller's responsibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] for non-square input and
+    /// [`LinalgError::NotPositiveDefinite`] when a pivot is not positive.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("{0}x{0}", a.rows()),
+                actual: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Borrow of the lower-triangular factor `L`.
+    pub fn factor_l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A·x = b` via forward/backward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b.len()` differs from the matrix dimension.
+    #[allow(clippy::needless_range_loop)] // triangular solves index two buffers
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "cholesky solve: rhs length");
+        // Forward: L·y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l.get(i, k) * y[k];
+            }
+            y[i] = sum / self.l.get(i, i);
+        }
+        // Backward: Lᵀ·x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.l.get(k, i) * x[k];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        x
+    }
+
+    /// log-determinant of `A` (`2·Σ log Lᵢᵢ`).
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows())
+            .map(|i| self.l.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::approx_eq;
+    use proptest::prelude::*;
+
+    #[test]
+    fn factor_of_identity_is_identity() {
+        let ch = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        assert_eq!(ch.factor_l(), &Matrix::identity(4));
+        assert_eq!(ch.log_det(), 0.0);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let err = Cholesky::factor(&Matrix::zeros(2, 3)).unwrap_err();
+        assert!(matches!(err, LinalgError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        let err = Cholesky::factor(&a).unwrap_err();
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { pivot: 1 }));
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
+            .unwrap();
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&b);
+        assert!(approx_eq(&x, &x_true, 1e-10));
+    }
+
+    #[test]
+    fn log_det_of_diagonal() {
+        let a = Matrix::from_diag(&[2.0, 3.0, 4.0]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.log_det() - 24.0f64.ln()).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solve_inverts_spd_gram_matrix(
+            data in proptest::collection::vec(-2.0f64..2.0, 12),
+            rhs in proptest::collection::vec(-5.0f64..5.0, 3),
+        ) {
+            // Build SPD A = MᵀM + I from a random 4x3 M.
+            let m = Matrix::from_vec(4, 3, data).unwrap();
+            let mut a = m.transpose().matmul(&m).unwrap();
+            a.add_in_place(&Matrix::identity(3));
+            let ch = Cholesky::factor(&a).unwrap();
+            let x = ch.solve(&rhs);
+            let back = a.matvec(&x);
+            prop_assert!(approx_eq(&back, &rhs, 1e-6));
+        }
+    }
+}

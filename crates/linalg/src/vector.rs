@@ -1,0 +1,369 @@
+//! Kernels on `f64` slices.
+//!
+//! These are the hot loops of the whole workspace: every gradient step,
+//! meta-update, and platform aggregation bottoms out here. All functions
+//! panic on length mismatches (callers control shapes statically), which is
+//! documented per function.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(fml_linalg::vector::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// In-place `y ← y + a·x` (the BLAS `axpy`).
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Returns `x + y` as a new vector.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "add: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a + b).collect()
+}
+
+/// Returns `x - y` as a new vector.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Returns `a·x` as a new vector.
+#[inline]
+pub fn scale(a: f64, x: &[f64]) -> Vec<f64> {
+    x.iter().map(|v| a * v).collect()
+}
+
+/// In-place `x ← a·x`.
+#[inline]
+pub fn scale_in_place(a: f64, x: &mut [f64]) {
+    for v in x.iter_mut() {
+        *v *= a;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Squared Euclidean norm `‖x‖₂²`.
+#[inline]
+pub fn norm2_sq(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// Infinity norm `‖x‖∞`.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// Euclidean distance `‖x − y‖₂`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn dist2(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dist2: length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Weighted sum `Σᵢ wᵢ·vᵢ` of equally sized vectors — the platform's global
+/// aggregation primitive (eq. 5 of the paper).
+///
+/// Returns `None` when `items` is empty.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths or `weights.len()` differs
+/// from `items.len()`.
+///
+/// # Examples
+///
+/// ```
+/// let a = vec![1.0, 0.0];
+/// let b = vec![0.0, 1.0];
+/// let avg = fml_linalg::vector::weighted_sum(&[a.as_slice(), b.as_slice()], &[0.25, 0.75]);
+/// assert_eq!(avg, Some(vec![0.25, 0.75]));
+/// ```
+pub fn weighted_sum(items: &[&[f64]], weights: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(items.len(), weights.len(), "weighted_sum: weight count");
+    let first = items.first()?;
+    let mut acc = vec![0.0; first.len()];
+    for (item, &w) in items.iter().zip(weights) {
+        assert_eq!(item.len(), first.len(), "weighted_sum: length mismatch");
+        axpy(w, item, &mut acc);
+    }
+    Some(acc)
+}
+
+/// Linear interpolation `(1−t)·x + t·y`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn lerp(x: &[f64], y: &[f64], t: f64) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "lerp: length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (1.0 - t) * a + t * b)
+        .collect()
+}
+
+/// Clamps every component of `x` into `[lo, hi]` in place.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or either bound is NaN.
+#[inline]
+pub fn clamp_in_place(x: &mut [f64], lo: f64, hi: f64) {
+    assert!(lo <= hi, "clamp_in_place: lo must not exceed hi");
+    for v in x.iter_mut() {
+        *v = v.clamp(lo, hi);
+    }
+}
+
+/// Componentwise `sign(x)` with `sign(0) = 0` — used by the FGSM attack.
+#[inline]
+pub fn sign(x: &[f64]) -> Vec<f64> {
+    x.iter()
+        .map(|&v| {
+            if v > 0.0 {
+                1.0
+            } else if v < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Projects `x` onto the L2 ball of radius `r` centred at `c` in place.
+///
+/// Used by projected-gradient adversarial attacks.
+///
+/// # Panics
+///
+/// Panics if `x.len() != c.len()` or `r < 0`.
+pub fn project_l2_ball(x: &mut [f64], c: &[f64], r: f64) {
+    assert_eq!(x.len(), c.len(), "project_l2_ball: length mismatch");
+    assert!(r >= 0.0, "project_l2_ball: radius must be non-negative");
+    let d = dist2(x, c);
+    if d > r && d > 0.0 {
+        let t = r / d;
+        for (xi, ci) in x.iter_mut().zip(c) {
+            *xi = ci + (*xi - ci) * t;
+        }
+    }
+}
+
+/// Returns the index of the maximum element, breaking ties toward the lowest
+/// index. Returns `None` for an empty slice or if every element is NaN.
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv >= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// True when every pairwise component difference is within `tol`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+pub fn approx_eq(x: &[f64], y: &[f64], tol: f64) -> bool {
+    assert_eq!(x.len(), y.len(), "approx_eq: length mismatch");
+    x.iter().zip(y).all(|(a, b)| (a - b).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_basics() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dot(&[2.0], &[3.0]), 6.0);
+        assert_eq!(dot(&[1.0, -1.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot: length mismatch")]
+    fn dot_panics_on_mismatch() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn add_sub_scale_roundtrip() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![0.5, -0.5, 1.5];
+        let s = add(&x, &y);
+        let back = sub(&s, &y);
+        assert!(approx_eq(&back, &x, 1e-12));
+        assert_eq!(scale(0.0, &x), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm2_sq(&[3.0, 4.0]), 25.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn weighted_sum_empty_is_none() {
+        assert_eq!(weighted_sum(&[], &[]), None);
+    }
+
+    #[test]
+    fn weighted_sum_is_convex_combination() {
+        let a = vec![2.0, 0.0];
+        let b = vec![0.0, 2.0];
+        let got = weighted_sum(&[&a, &b], &[0.5, 0.5]).unwrap();
+        assert_eq!(got, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let x = vec![0.0, 1.0];
+        let y = vec![2.0, 3.0];
+        assert_eq!(lerp(&x, &y, 0.0), x);
+        assert_eq!(lerp(&x, &y, 1.0), y);
+    }
+
+    #[test]
+    fn sign_of_zero_is_zero() {
+        assert_eq!(sign(&[-2.0, 0.0, 5.0]), vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn clamp_respects_bounds() {
+        let mut x = vec![-2.0, 0.5, 9.0];
+        clamp_in_place(&mut x, 0.0, 1.0);
+        assert_eq!(x, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn projection_inside_ball_is_identity() {
+        let c = vec![0.0, 0.0];
+        let mut x = vec![0.3, 0.4];
+        project_l2_ball(&mut x, &c, 1.0);
+        assert_eq!(x, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn projection_outside_ball_lands_on_surface() {
+        let c = vec![1.0, 1.0];
+        let mut x = vec![4.0, 5.0];
+        project_l2_ball(&mut x, &c, 2.5);
+        assert!((dist2(&x, &c) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low_and_skips_nan() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[f64::NAN, 2.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f64::NAN]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dot_commutes(x in proptest::collection::vec(-1e3f64..1e3, 0..32)) {
+            let y: Vec<f64> = x.iter().map(|v| v * 0.5 - 1.0).collect();
+            prop_assert!((dot(&x, &y) - dot(&y, &x)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_cauchy_schwarz(
+            x in proptest::collection::vec(-1e2f64..1e2, 1..16),
+            seed in 0u64..1000,
+        ) {
+            let y: Vec<f64> = x.iter().enumerate()
+                .map(|(i, v)| v * ((seed + i as u64) % 7) as f64 - 3.0)
+                .collect();
+            prop_assert!(dot(&x, &y).abs() <= norm2(&x) * norm2(&y) + 1e-6);
+        }
+
+        #[test]
+        fn prop_triangle_inequality(
+            x in proptest::collection::vec(-1e2f64..1e2, 1..16),
+        ) {
+            let y: Vec<f64> = x.iter().map(|v| -v + 1.0).collect();
+            prop_assert!(norm2(&add(&x, &y)) <= norm2(&x) + norm2(&y) + 1e-9);
+        }
+
+        #[test]
+        fn prop_projection_never_leaves_ball(
+            x in proptest::collection::vec(-1e2f64..1e2, 1..8),
+            r in 0.0f64..10.0,
+        ) {
+            let c = vec![0.0; x.len()];
+            let mut p = x.clone();
+            project_l2_ball(&mut p, &c, r);
+            prop_assert!(dist2(&p, &c) <= r + 1e-9);
+        }
+
+        #[test]
+        fn prop_weighted_sum_of_identical_items_is_identity(
+            x in proptest::collection::vec(-1e2f64..1e2, 1..8),
+        ) {
+            let got = weighted_sum(&[&x, &x, &x], &[0.2, 0.3, 0.5]).unwrap();
+            prop_assert!(approx_eq(&got, &x, 1e-9));
+        }
+    }
+}

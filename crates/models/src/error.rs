@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Errors produced when constructing models or batches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A batch was built with mismatched feature/target counts.
+    BatchShape {
+        /// Number of feature rows supplied.
+        rows: usize,
+        /// Number of targets supplied.
+        targets: usize,
+    },
+    /// A class label was out of range for the model.
+    ClassOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes the model supports.
+        classes: usize,
+    },
+    /// A model was configured with an invalid hyper-parameter.
+    InvalidConfig {
+        /// Human-readable description of the invalid setting.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BatchShape { rows, targets } => {
+                write!(f, "batch shape mismatch: {rows} rows but {targets} targets")
+            }
+            ModelError::ClassOutOfRange { label, classes } => {
+                write!(f, "class label {label} out of range for {classes} classes")
+            }
+            ModelError::InvalidConfig { reason } => write!(f, "invalid model config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = ModelError::BatchShape {
+            rows: 3,
+            targets: 2,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+        let e = ModelError::ClassOutOfRange {
+            label: 9,
+            classes: 5,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,697 @@
+use fml_linalg::{softmax, vector};
+use rand::{Rng, RngCore};
+
+use crate::{Batch, Model, ModelError, Prediction, Result, Target};
+
+/// Hidden-layer activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit. Second derivative is 0 almost everywhere, so
+    /// the R-operator HVP treats the kink measure-zero set as flat.
+    Relu,
+    /// Hyperbolic tangent — smooth, so HVPs are exact everywhere.
+    Tanh,
+}
+
+impl Activation {
+    #[inline]
+    fn apply(self, z: f64) -> f64 {
+        match self {
+            Activation::Relu => z.max(0.0),
+            Activation::Tanh => z.tanh(),
+        }
+    }
+
+    /// First derivative evaluated at pre-activation `z`.
+    #[inline]
+    fn d1(self, z: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if z > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let a = z.tanh();
+                1.0 - a * a
+            }
+        }
+    }
+
+    /// Second derivative evaluated at pre-activation `z`.
+    #[inline]
+    fn d2(self, z: f64) -> f64 {
+        match self {
+            Activation::Relu => 0.0,
+            Activation::Tanh => {
+                let a = z.tanh();
+                -2.0 * a * (1.0 - a * a)
+            }
+        }
+    }
+}
+
+/// A fully connected multi-layer perceptron classifier with a softmax
+/// cross-entropy head.
+///
+/// This is the paper's Sent140 model family ("a network with 3 hidden
+/// layers … followed by a linear layer and softmax"). The layer widths are
+/// arbitrary; the paper's configuration is
+/// `MlpBuilder::new(dim, classes).hidden(&[256, 128, 64])`.
+///
+/// Parameter layout: for each layer `l` (in order), the weight matrix
+/// `W_l` (`out × in`, row-major) followed by the bias `b_l` (`out`). L2
+/// decay applies to weights only.
+///
+/// The Hessian–vector product uses the **Pearlmutter R-operator** — a
+/// forward pass propagating directional derivatives `R{z}`, `R{a}` and a
+/// backward pass propagating `R{δ}` — so an HVP costs roughly two
+/// backpropagations and is exact for smooth activations (see the tests,
+/// which cross-check against central finite differences).
+///
+/// # Examples
+///
+/// ```
+/// use fml_models::{Activation, Model, MlpBuilder};
+/// use rand::SeedableRng;
+///
+/// let mlp = MlpBuilder::new(8, 3)
+///     .hidden(&[16, 8])
+///     .activation(Activation::Tanh)
+///     .l2(1e-4)
+///     .build()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let params = mlp.init_params(&mut rng);
+/// assert_eq!(params.len(), mlp.param_len());
+/// # Ok::<(), fml_models::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    /// `[input, hidden…, classes]`
+    dims: Vec<usize>,
+    activation: Activation,
+    l2: f64,
+}
+
+/// Builder for [`Mlp`] (see type-level docs for an example).
+#[derive(Debug, Clone)]
+pub struct MlpBuilder {
+    input: usize,
+    classes: usize,
+    hidden: Vec<usize>,
+    activation: Activation,
+    l2: f64,
+}
+
+impl MlpBuilder {
+    /// Starts a builder for a classifier from `input` features to
+    /// `classes` classes.
+    pub fn new(input: usize, classes: usize) -> Self {
+        MlpBuilder {
+            input,
+            classes,
+            hidden: Vec::new(),
+            activation: Activation::Relu,
+            l2: 0.0,
+        }
+    }
+
+    /// Sets the hidden-layer widths (empty = softmax regression shape).
+    pub fn hidden(mut self, dims: &[usize]) -> Self {
+        self.hidden = dims.to_vec();
+        self
+    }
+
+    /// Sets the hidden activation.
+    pub fn activation(mut self, a: Activation) -> Self {
+        self.activation = a;
+        self
+    }
+
+    /// Sets the L2 weight-decay coefficient.
+    pub fn l2(mut self, l2: f64) -> Self {
+        self.l2 = l2;
+        self
+    }
+
+    /// Builds the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] when the input dimension is 0,
+    /// fewer than 2 classes are requested, a hidden width is 0, or `l2` is
+    /// negative.
+    pub fn build(self) -> Result<Mlp> {
+        if self.input == 0 {
+            return Err(ModelError::InvalidConfig {
+                reason: "input dimension must be positive".into(),
+            });
+        }
+        if self.classes < 2 {
+            return Err(ModelError::InvalidConfig {
+                reason: "need at least 2 classes".into(),
+            });
+        }
+        if self.hidden.contains(&0) {
+            return Err(ModelError::InvalidConfig {
+                reason: "hidden layer width must be positive".into(),
+            });
+        }
+        if self.l2 < 0.0 {
+            return Err(ModelError::InvalidConfig {
+                reason: "l2 must be non-negative".into(),
+            });
+        }
+        let mut dims = Vec::with_capacity(self.hidden.len() + 2);
+        dims.push(self.input);
+        dims.extend_from_slice(&self.hidden);
+        dims.push(self.classes);
+        Ok(Mlp {
+            dims,
+            activation: self.activation,
+            l2: self.l2,
+        })
+    }
+}
+
+/// Per-layer view into the flat parameter vector.
+struct LayerOffsets {
+    /// `(w_start, w_end, b_start, b_end)` per layer.
+    spans: Vec<(usize, usize, usize, usize)>,
+}
+
+impl Mlp {
+    /// Number of layers (weight matrices).
+    pub fn layer_count(&self) -> usize {
+        self.dims.len() - 1
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        *self.dims.last().expect("dims nonempty")
+    }
+
+    /// The hidden activation in use.
+    pub fn activation_fn(&self) -> Activation {
+        self.activation
+    }
+
+    fn offsets(&self) -> LayerOffsets {
+        let mut spans = Vec::with_capacity(self.layer_count());
+        let mut cursor = 0;
+        for l in 0..self.layer_count() {
+            let (fan_in, fan_out) = (self.dims[l], self.dims[l + 1]);
+            let w_start = cursor;
+            let w_end = w_start + fan_in * fan_out;
+            let b_start = w_end;
+            let b_end = b_start + fan_out;
+            cursor = b_end;
+            spans.push((w_start, w_end, b_start, b_end));
+        }
+        LayerOffsets { spans }
+    }
+
+    /// `W_l·v + b_l` for layer `l`, reading from an arbitrary flat buffer
+    /// (either parameters or an HVP direction).
+    fn affine(&self, buf: &[f64], l: usize, off: &LayerOffsets, v: &[f64]) -> Vec<f64> {
+        let (fan_in, fan_out) = (self.dims[l], self.dims[l + 1]);
+        let (ws, _, bs, _) = off.spans[l];
+        let mut out = vec![0.0; fan_out];
+        for (j, o) in out.iter_mut().enumerate() {
+            let row = &buf[ws + j * fan_in..ws + (j + 1) * fan_in];
+            *o = vector::dot(row, v) + buf[bs + j];
+        }
+        out
+    }
+
+    /// `W_lᵀ·d` for layer `l` from an arbitrary flat buffer.
+    fn affine_t(&self, buf: &[f64], l: usize, off: &LayerOffsets, d: &[f64]) -> Vec<f64> {
+        let (fan_in, _) = (self.dims[l], self.dims[l + 1]);
+        let (ws, _, _, _) = off.spans[l];
+        let mut out = vec![0.0; fan_in];
+        for (j, &dj) in d.iter().enumerate() {
+            let row = &buf[ws + j * fan_in..ws + (j + 1) * fan_in];
+            vector::axpy(dj, row, &mut out);
+        }
+        out
+    }
+
+    /// Forward pass; returns `(pre_activations, activations)` where
+    /// `activations[0]` is the input and the last pre-activation holds the
+    /// logits.
+    fn forward(
+        &self,
+        params: &[f64],
+        off: &LayerOffsets,
+        x: &[f64],
+    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut zs = Vec::with_capacity(self.layer_count());
+        let mut acts = Vec::with_capacity(self.layer_count() + 1);
+        acts.push(x.to_vec());
+        for l in 0..self.layer_count() {
+            let z = self.affine(params, l, off, acts.last().expect("acts nonempty"));
+            if l + 1 < self.layer_count() {
+                acts.push(z.iter().map(|&v| self.activation.apply(v)).collect());
+            }
+            zs.push(z);
+        }
+        (zs, acts)
+    }
+
+    /// Accumulates one sample's parameter gradient into `g`; returns the
+    /// input-space delta for `input_grad`.
+    fn backward_sample(
+        &self,
+        params: &[f64],
+        off: &LayerOffsets,
+        x: &[f64],
+        label: usize,
+        weight: f64,
+        g: &mut [f64],
+    ) -> Vec<f64> {
+        let (zs, acts) = self.forward(params, off, x);
+        let logits = zs.last().expect("at least one layer");
+        let mut delta = softmax::cross_entropy_logits_grad(logits, label);
+        for l in (0..self.layer_count()).rev() {
+            let (ws, _, bs, _) = off.spans[l];
+            let fan_in = self.dims[l];
+            let a_prev = &acts[l];
+            for (j, &dj) in delta.iter().enumerate() {
+                vector::axpy(
+                    weight * dj,
+                    a_prev,
+                    &mut g[ws + j * fan_in..ws + (j + 1) * fan_in],
+                );
+                g[bs + j] += weight * dj;
+            }
+            let pre = self.affine_t(params, l, off, &delta);
+            if l == 0 {
+                return pre;
+            }
+            delta = pre
+                .iter()
+                .zip(&zs[l - 1])
+                .map(|(&p, &z)| p * self.activation.d1(z))
+                .collect();
+        }
+        unreachable!("layer_count >= 1")
+    }
+
+    fn check_label(&self, y: Target) -> usize {
+        let c = y.expect_class();
+        assert!(
+            c < self.classes(),
+            "Mlp: label {c} out of range for {} classes",
+            self.classes()
+        );
+        c
+    }
+
+    fn add_l2_grad(&self, params: &[f64], off: &LayerOffsets, g: &mut [f64]) {
+        if self.l2 == 0.0 {
+            return;
+        }
+        for &(ws, we, _, _) in &off.spans {
+            let (src, dst) = (&params[ws..we], &mut g[ws..we]);
+            vector::axpy(self.l2, src, dst);
+        }
+    }
+}
+
+impl Model for Mlp {
+    fn param_len(&self) -> usize {
+        (0..self.layer_count())
+            .map(|l| self.dims[l] * self.dims[l + 1] + self.dims[l + 1])
+            .sum()
+    }
+
+    fn input_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    fn init_params(&self, rng: &mut dyn RngCore) -> Vec<f64> {
+        let off = self.offsets();
+        let mut p = vec![0.0; self.param_len()];
+        for (l, &(ws, we, _, _)) in off.spans.iter().enumerate() {
+            // Xavier/Glorot uniform: U(−√(6/(fan_in+fan_out)), +…).
+            let bound = (6.0 / (self.dims[l] + self.dims[l + 1]) as f64).sqrt();
+            for v in &mut p[ws..we] {
+                *v = rng.gen_range(-bound..bound);
+            }
+            // Biases start at zero.
+        }
+        p
+    }
+
+    fn loss(&self, params: &[f64], batch: &Batch) -> f64 {
+        let off = self.offsets();
+        let mut reg = 0.0;
+        if self.l2 > 0.0 {
+            for &(ws, we, _, _) in &off.spans {
+                reg += vector::norm2_sq(&params[ws..we]);
+            }
+            reg *= 0.5 * self.l2;
+        }
+        if batch.is_empty() {
+            return reg;
+        }
+        let mut total = 0.0;
+        for (x, y) in batch.iter() {
+            let (zs, _) = self.forward(params, &off, x);
+            total += softmax::cross_entropy_logits(zs.last().expect("layers"), self.check_label(y));
+        }
+        total / batch.len() as f64 + reg
+    }
+
+    fn grad(&self, params: &[f64], batch: &Batch) -> Vec<f64> {
+        let off = self.offsets();
+        let mut g = vec![0.0; self.param_len()];
+        if !batch.is_empty() {
+            let inv_n = 1.0 / batch.len() as f64;
+            for (x, y) in batch.iter() {
+                self.backward_sample(params, &off, x, self.check_label(y), inv_n, &mut g);
+            }
+        }
+        self.add_l2_grad(params, &off, &mut g);
+        g
+    }
+
+    fn hvp(&self, params: &[f64], batch: &Batch, v: &[f64]) -> Vec<f64> {
+        let off = self.offsets();
+        let mut hv = vec![0.0; self.param_len()];
+        if !batch.is_empty() {
+            let inv_n = 1.0 / batch.len() as f64;
+            for (x, y) in batch.iter() {
+                self.r_op_sample(params, &off, x, self.check_label(y), v, inv_n, &mut hv);
+            }
+        }
+        // L2 contributes λ·v on weight coordinates.
+        if self.l2 > 0.0 {
+            for &(ws, we, _, _) in &off.spans {
+                let (src, dst) = (&v[ws..we], &mut hv[ws..we]);
+                vector::axpy(self.l2, src, dst);
+            }
+        }
+        hv
+    }
+
+    fn sample_loss(&self, params: &[f64], x: &[f64], y: Target) -> f64 {
+        let off = self.offsets();
+        let (zs, _) = self.forward(params, &off, x);
+        softmax::cross_entropy_logits(zs.last().expect("layers"), self.check_label(y))
+    }
+
+    fn input_grad(&self, params: &[f64], x: &[f64], y: Target) -> Vec<f64> {
+        let off = self.offsets();
+        let mut scratch = vec![0.0; self.param_len()];
+        self.backward_sample(params, &off, x, self.check_label(y), 1.0, &mut scratch)
+    }
+
+    fn predict(&self, params: &[f64], x: &[f64]) -> Prediction {
+        let off = self.offsets();
+        let (zs, _) = self.forward(params, &off, x);
+        let probs = softmax::softmax(zs.last().expect("layers"));
+        let label = vector::argmax(&probs).unwrap_or(0);
+        Prediction::Class { label, probs }
+    }
+}
+
+impl Mlp {
+    /// One sample's Pearlmutter R-operator pass, accumulating
+    /// `weight · ∇²l(θ,(x,y))·v` into `hv`.
+    #[allow(clippy::too_many_arguments)]
+    fn r_op_sample(
+        &self,
+        params: &[f64],
+        off: &LayerOffsets,
+        x: &[f64],
+        label: usize,
+        v: &[f64],
+        weight: f64,
+        hv: &mut [f64],
+    ) {
+        let lcount = self.layer_count();
+        // --- forward + R-forward ---
+        let (zs, acts) = self.forward(params, off, x);
+        let mut r_acts: Vec<Vec<f64>> = Vec::with_capacity(lcount + 1);
+        r_acts.push(vec![0.0; x.len()]); // R{input} = 0
+        let mut r_zs: Vec<Vec<f64>> = Vec::with_capacity(lcount);
+        for l in 0..lcount {
+            // R{z_l} = V_l a_{l−1} + c_l + W_l R{a_{l−1}}
+            let mut rz = self.affine(v, l, off, &acts[l]);
+            let wr = {
+                // W_l · R{a_{l−1}} without bias: compute affine minus bias.
+                let mut t = self.affine(params, l, off, &r_acts[l]);
+                let (_, _, bs, be) = off.spans[l];
+                for (tj, bj) in t.iter_mut().zip(&params[bs..be]) {
+                    *tj -= bj;
+                }
+                t
+            };
+            vector::axpy(1.0, &wr, &mut rz);
+            if l + 1 < lcount {
+                let ra: Vec<f64> = rz
+                    .iter()
+                    .zip(&zs[l])
+                    .map(|(&r, &z)| self.activation.d1(z) * r)
+                    .collect();
+                r_acts.push(ra);
+            }
+            r_zs.push(rz);
+        }
+        // --- output deltas ---
+        let logits = zs.last().expect("layers");
+        let p = softmax::softmax(logits);
+        let mut delta = p.clone();
+        delta[label] -= 1.0;
+        // R{δ_L} = (diag(p) − ppᵀ)·R{z_L}
+        let rz_l = r_zs.last().expect("layers");
+        let ps = vector::dot(&p, rz_l);
+        let mut r_delta: Vec<f64> = p
+            .iter()
+            .zip(rz_l)
+            .map(|(&pk, &rk)| pk * (rk - ps))
+            .collect();
+        // --- backward + R-backward ---
+        for l in (0..lcount).rev() {
+            let (ws, _, bs, _) = off.spans[l];
+            let fan_in = self.dims[l];
+            let a_prev = &acts[l];
+            let ra_prev = &r_acts[l];
+            for j in 0..delta.len() {
+                // R{dW_l} = R{δ}·aᵀ + δ·R{a}ᵀ
+                let row = &mut hv[ws + j * fan_in..ws + (j + 1) * fan_in];
+                vector::axpy(weight * r_delta[j], a_prev, row);
+                vector::axpy(weight * delta[j], ra_prev, row);
+                hv[bs + j] += weight * r_delta[j];
+            }
+            if l == 0 {
+                break;
+            }
+            // pre = W_lᵀ δ;  R{pre} = V_lᵀ δ + W_lᵀ R{δ}
+            let pre = self.affine_t(params, l, off, &delta);
+            let mut r_pre = self.affine_t(v, l, off, &delta);
+            let w_rdelta = self.affine_t(params, l, off, &r_delta);
+            vector::axpy(1.0, &w_rdelta, &mut r_pre);
+            // δ_{l−1} = act'(z)∘pre
+            // R{δ_{l−1}} = act''(z)∘R{z}∘pre + act'(z)∘R{pre}
+            let z_prev = &zs[l - 1];
+            let rz_prev = &r_zs[l - 1];
+            let mut new_delta = Vec::with_capacity(pre.len());
+            let mut new_r_delta = Vec::with_capacity(pre.len());
+            for i in 0..pre.len() {
+                let d1 = self.activation.d1(z_prev[i]);
+                let d2 = self.activation.d2(z_prev[i]);
+                new_delta.push(d1 * pre[i]);
+                new_r_delta.push(d2 * rz_prev[i] * pre[i] + d1 * r_pre[i]);
+            }
+            delta = new_delta;
+            r_delta = new_r_delta;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check;
+    use fml_linalg::Matrix;
+    use rand::SeedableRng;
+
+    fn toy_batch() -> Batch {
+        let xs = Matrix::from_rows(&[
+            &[0.5, -0.2, 1.0],
+            &[-0.7, 0.9, 0.1],
+            &[0.2, 0.2, -0.5],
+            &[1.2, -1.0, 0.3],
+        ])
+        .unwrap();
+        Batch::classification(xs, vec![0, 1, 2, 1]).unwrap()
+    }
+
+    fn tanh_mlp() -> Mlp {
+        MlpBuilder::new(3, 3)
+            .hidden(&[5, 4])
+            .activation(Activation::Tanh)
+            .l2(0.01)
+            .build()
+            .unwrap()
+    }
+
+    fn seeded_params(m: &Mlp, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        m.init_params(&mut rng)
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(MlpBuilder::new(0, 3).build().is_err());
+        assert!(MlpBuilder::new(3, 1).build().is_err());
+        assert!(MlpBuilder::new(3, 3).hidden(&[0]).build().is_err());
+        assert!(MlpBuilder::new(3, 3).l2(-1.0).build().is_err());
+        assert!(MlpBuilder::new(3, 3).hidden(&[4]).build().is_ok());
+    }
+
+    #[test]
+    fn param_len_counts_all_layers() {
+        let m = MlpBuilder::new(3, 2).hidden(&[4]).build().unwrap();
+        // layer0: 4x3 + 4, layer1: 2x4 + 2 = 12+4+8+2 = 26
+        assert_eq!(m.param_len(), 26);
+        assert_eq!(m.layer_count(), 2);
+        assert_eq!(m.classes(), 2);
+    }
+
+    #[test]
+    fn zero_hidden_layer_mlp_matches_softmax_shape() {
+        let m = MlpBuilder::new(4, 3).build().unwrap();
+        assert_eq!(m.param_len(), 3 * 4 + 3);
+    }
+
+    #[test]
+    fn grad_matches_numeric_tanh() {
+        let m = tanh_mlp();
+        let p = seeded_params(&m, 11);
+        let err = check::grad_error(&m, &p, &toy_batch());
+        assert!(err < 1e-5, "grad error {err}");
+    }
+
+    #[test]
+    fn grad_matches_numeric_relu() {
+        let m = MlpBuilder::new(3, 3)
+            .hidden(&[6])
+            .activation(Activation::Relu)
+            .build()
+            .unwrap();
+        let p = seeded_params(&m, 13);
+        let err = check::grad_error(&m, &p, &toy_batch());
+        assert!(err < 1e-5, "grad error {err}");
+    }
+
+    #[test]
+    fn pearlmutter_hvp_matches_finite_difference_tanh() {
+        let m = tanh_mlp();
+        let p = seeded_params(&m, 17);
+        let v: Vec<f64> = (0..m.param_len())
+            .map(|i| ((i * 13 % 7) as f64 - 3.0) / 7.0)
+            .collect();
+        let err = check::hvp_error(&m, &p, &toy_batch(), &v);
+        assert!(err < 1e-4, "hvp error {err}");
+    }
+
+    #[test]
+    fn pearlmutter_hvp_deep_network() {
+        let m = MlpBuilder::new(3, 3)
+            .hidden(&[8, 6, 4])
+            .activation(Activation::Tanh)
+            .build()
+            .unwrap();
+        let p = seeded_params(&m, 19);
+        let v: Vec<f64> = (0..m.param_len())
+            .map(|i| ((i * 29 % 11) as f64 - 5.0) / 11.0)
+            .collect();
+        let err = check::hvp_error(&m, &p, &toy_batch(), &v);
+        assert!(err < 1e-4, "hvp error {err}");
+    }
+
+    #[test]
+    fn hvp_zero_direction_is_zero() {
+        let m = tanh_mlp();
+        let p = seeded_params(&m, 23);
+        let hv = m.hvp(&p, &toy_batch(), &vec![0.0; m.param_len()]);
+        assert!(vector::norm2(&hv) < 1e-12);
+    }
+
+    #[test]
+    fn hvp_is_linear_in_direction() {
+        let m = tanh_mlp();
+        let p = seeded_params(&m, 29);
+        let batch = toy_batch();
+        let v: Vec<f64> = (0..m.param_len()).map(|i| (i % 3) as f64 - 1.0).collect();
+        let hv = m.hvp(&p, &batch, &v);
+        let h2v = m.hvp(&p, &batch, &vector::scale(2.0, &v));
+        assert!(vector::approx_eq(&h2v, &vector::scale(2.0, &hv), 1e-8));
+    }
+
+    #[test]
+    fn input_grad_matches_numeric() {
+        let m = tanh_mlp();
+        let p = seeded_params(&m, 31);
+        let err = check::input_grad_error(&m, &p, &[0.4, -0.6, 0.2], Target::Class(1));
+        assert!(err < 1e-5, "input grad error {err}");
+    }
+
+    #[test]
+    fn training_fits_xor() {
+        // XOR is the canonical not-linearly-separable task: a linear model
+        // cannot exceed 75%, an MLP reaches 100%.
+        let m = MlpBuilder::new(2, 2)
+            .hidden(&[8])
+            .activation(Activation::Tanh)
+            .build()
+            .unwrap();
+        let xs = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]).unwrap();
+        let batch = Batch::classification(xs, vec![0, 1, 1, 0]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(37);
+        let mut p = m.init_params(&mut rng);
+        for _ in 0..3000 {
+            let g = m.grad(&p, &batch);
+            vector::axpy(-0.5, &g, &mut p);
+        }
+        assert_eq!(m.accuracy(&p, &batch), 1.0, "MLP should solve XOR");
+    }
+
+    #[test]
+    fn loss_at_init_near_log_c() {
+        let m = MlpBuilder::new(3, 3)
+            .hidden(&[4])
+            .activation(Activation::Tanh)
+            .build()
+            .unwrap();
+        let p = seeded_params(&m, 41);
+        let l = m.loss(&p, &toy_batch());
+        // Near-random logits ⇒ loss close to ln(3).
+        assert!((l - (3.0f64).ln()).abs() < 1.0);
+    }
+
+    #[test]
+    fn predict_probs_sum_to_one() {
+        let m = tanh_mlp();
+        let p = seeded_params(&m, 43);
+        if let Prediction::Class { probs, .. } = m.predict(&p, &[0.1, 0.2, 0.3]) {
+            assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        } else {
+            panic!("expected class prediction");
+        }
+    }
+
+    #[test]
+    fn biases_initialized_to_zero() {
+        let m = MlpBuilder::new(2, 2).hidden(&[3]).build().unwrap();
+        let p = seeded_params(&m, 47);
+        // Layer 0 biases at offsets 6..9, layer 1 biases at 15..17.
+        assert!(p[6..9].iter().all(|&v| v == 0.0));
+        assert!(p[15..17].iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,218 @@
+//! Feature standardization.
+//!
+//! Edge sensors report in wildly different units; the learning rates that
+//! make an inner adaptation step meaningful depend directly on the feature
+//! scale (see EXPERIMENTS.md's learning-rate normalization note — as the
+//! effective `α·‖x‖²` shrinks, FedML provably degenerates toward FedAvg).
+//! A [`Standardizer`] fit on the *source federation* and shipped with the
+//! meta-initialization keeps the target's inputs on the scale the
+//! initialization was trained for.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Batch;
+
+/// Per-feature affine standardizer: `x' = (x − mean) / std`.
+///
+/// Constant features (zero variance) pass through shifted but unscaled.
+///
+/// # Examples
+///
+/// ```
+/// use fml_models::{Batch, Standardizer};
+/// use fml_linalg::Matrix;
+///
+/// let fit_on = Batch::regression(
+///     Matrix::from_rows(&[&[0.0, 100.0], &[2.0, 300.0]]).unwrap(),
+///     vec![0.0, 1.0],
+/// )?;
+/// let scaler = Standardizer::fit(&fit_on);
+/// let scaled = scaler.transform(&fit_on);
+/// // Both features now have mean 0.
+/// assert!(scaled.feature(0)[1] < 0.0 && scaled.feature(1)[1] > 0.0);
+/// # Ok::<(), fml_models::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits per-feature mean and standard deviation on a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the batch is empty.
+    pub fn fit(batch: &Batch) -> Self {
+        assert!(!batch.is_empty(), "Standardizer: cannot fit on empty batch");
+        let d = batch.dim();
+        let n = batch.len() as f64;
+        let mut mean = vec![0.0; d];
+        for (x, _) in batch.iter() {
+            fml_linalg::vector::axpy(1.0 / n, x, &mut mean);
+        }
+        let mut var = vec![0.0; d];
+        for (x, _) in batch.iter() {
+            for (v, (&xi, &mi)) in var.iter_mut().zip(x.iter().zip(&mean)) {
+                *v += (xi - mi) * (xi - mi) / n;
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = v.sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Standardizer { mean, std }
+    }
+
+    /// Fits on the union of several batches — the platform fits on the
+    /// whole source federation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when all batches are empty or dimensions disagree.
+    pub fn fit_many(batches: &[&Batch]) -> Self {
+        let mut all: Option<Batch> = None;
+        for b in batches {
+            all = Some(match all {
+                None => (*b).clone(),
+                Some(acc) => acc.concat(b),
+            });
+        }
+        Standardizer::fit(&all.expect("Standardizer: no batches"))
+    }
+
+    /// Feature dimension this scaler was fit for.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardizes one input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != dim()`.
+    pub fn transform_point(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "Standardizer: dimension mismatch");
+        x.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(&xi, (&m, &s))| (xi - m) / s)
+            .collect()
+    }
+
+    /// Standardizes every sample of a batch (targets unchanged).
+    pub fn transform(&self, batch: &Batch) -> Batch {
+        let mut out = batch.clone();
+        for i in 0..batch.len() {
+            let scaled = self.transform_point(batch.feature(i));
+            out.set_feature(i, &scaled);
+        }
+        out
+    }
+
+    /// Inverts the transform for one point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != dim()`.
+    pub fn inverse_point(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "Standardizer: dimension mismatch");
+        x.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(&xi, (&m, &s))| xi * s + m)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fml_linalg::Matrix;
+
+    fn wide_batch() -> Batch {
+        Batch::regression(
+            Matrix::from_rows(&[&[0.0, 1000.0], &[1.0, 2000.0], &[2.0, 3000.0], &[3.0, 4000.0]])
+                .unwrap(),
+            vec![0.0; 4],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transformed_features_have_zero_mean_unit_std() {
+        let b = wide_batch();
+        let s = Standardizer::fit(&b);
+        let t = s.transform(&b);
+        for col in 0..2 {
+            let vals: Vec<f64> = (0..t.len()).map(|i| t.feature(i)[col]).collect();
+            let mean = fml_linalg::stats::mean(&vals);
+            assert!(mean.abs() < 1e-12, "col {col} mean {mean}");
+            // Population std of standardized values is 1; sample std of 4
+            // values differs by the Bessel factor √(4/3).
+            let pop_std = (vals.iter().map(|v| v * v).sum::<f64>() / vals.len() as f64).sqrt();
+            assert!((pop_std - 1.0).abs() < 1e-9, "col {col} std {pop_std}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_inverse() {
+        let b = wide_batch();
+        let s = Standardizer::fit(&b);
+        let x = [1.7, 2345.0];
+        let back = s.inverse_point(&s.transform_point(&x));
+        assert!(fml_linalg::vector::approx_eq(&back, &x, 1e-9));
+    }
+
+    #[test]
+    fn constant_feature_passes_through_centered() {
+        let b = Batch::regression(
+            Matrix::from_rows(&[&[5.0, 1.0], &[5.0, 2.0]]).unwrap(),
+            vec![0.0, 0.0],
+        )
+        .unwrap();
+        let s = Standardizer::fit(&b);
+        let t = s.transform(&b);
+        assert_eq!(t.feature(0)[0], 0.0);
+        assert_eq!(t.feature(1)[0], 0.0);
+    }
+
+    #[test]
+    fn fit_many_matches_fit_on_concat() {
+        let b = wide_batch();
+        let (h, t) = b.split_at(2);
+        let a = Standardizer::fit_many(&[&h, &t]);
+        let direct = Standardizer::fit(&b);
+        assert_eq!(a, direct);
+    }
+
+    #[test]
+    fn targets_are_untouched() {
+        let b = Batch::classification(Matrix::from_rows(&[&[10.0], &[20.0]]).unwrap(), vec![0, 1])
+            .unwrap();
+        let s = Standardizer::fit(&b);
+        let t = s.transform(&b);
+        assert_eq!(t.target(0), b.target(0));
+        assert_eq!(t.target(1), b.target(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn rejects_empty_fit() {
+        Standardizer::fit(&Batch::empty(3));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Standardizer::fit(&wide_batch());
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Standardizer = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

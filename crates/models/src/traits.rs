@@ -1,0 +1,180 @@
+use rand::RngCore;
+
+use crate::{Batch, Target};
+
+/// A model's output for a single input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Prediction {
+    /// Classification output: the argmax label and the full class
+    /// probability vector.
+    Class {
+        /// Predicted class index.
+        label: usize,
+        /// Class probabilities (sums to 1).
+        probs: Vec<f64>,
+    },
+    /// Regression output.
+    Value(f64),
+}
+
+impl Prediction {
+    /// Predicted class label, if this is a classification output.
+    pub fn label(&self) -> Option<usize> {
+        match self {
+            Prediction::Class { label, .. } => Some(*label),
+            Prediction::Value(_) => None,
+        }
+    }
+
+    /// Predicted value, if this is a regression output.
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            Prediction::Class { .. } => None,
+            Prediction::Value(v) => Some(*v),
+        }
+    }
+}
+
+/// A differentiable parametric model `f_θ` with the oracles federated
+/// meta-learning needs.
+///
+/// Parameters always live in a flat `Vec<f64>` of length [`param_len`], so
+/// the platform can aggregate, serialize, and diff them without knowing the
+/// architecture.
+///
+/// # Implementation contract
+///
+/// * `loss`/`grad` must be consistent: `grad` is the exact gradient of
+///   `loss` (the test helper [`crate::check::grad_error`] verifies this).
+/// * `hvp(θ, B, v)` must equal `∇²L(θ, B)·v`. The default implementation is
+///   a central finite difference of `grad` — `O(2×)` the cost of a gradient
+///   and accurate to ~1e-6 relative error; analytic overrides are preferred.
+/// * `input_grad`/`sample_loss` operate on a *single* sample and must be
+///   consistent with each other; they power adversarial data generation.
+///
+/// [`param_len`]: Model::param_len
+pub trait Model: Send + Sync + std::fmt::Debug {
+    /// Number of parameters `d`.
+    fn param_len(&self) -> usize;
+
+    /// Feature dimension expected in batches.
+    fn input_dim(&self) -> usize;
+
+    /// Samples an initial parameter vector.
+    fn init_params(&self, rng: &mut dyn RngCore) -> Vec<f64>;
+
+    /// Empirical loss `L(θ, B)` — the mean sample loss plus any
+    /// regularization. Returns 0 for an empty batch (plus regularization).
+    fn loss(&self, params: &[f64], batch: &Batch) -> f64;
+
+    /// Gradient `∇_θ L(θ, B)`.
+    fn grad(&self, params: &[f64], batch: &Batch) -> Vec<f64>;
+
+    /// Hessian–vector product `∇²_θ L(θ, B) · v`.
+    ///
+    /// The default is a central finite difference of [`grad`](Model::grad);
+    /// models with analytic second-order structure should override it.
+    fn hvp(&self, params: &[f64], batch: &Batch, v: &[f64]) -> Vec<f64> {
+        finite_difference_hvp(|p| self.grad(p, batch), params, v)
+    }
+
+    /// Loss of a single sample `l(θ, (x, y))` **without** regularization
+    /// (the DRO surrogate perturbs individual samples).
+    fn sample_loss(&self, params: &[f64], x: &[f64], y: Target) -> f64;
+
+    /// Gradient of the single-sample loss with respect to the **input**:
+    /// `∇_x l(θ, (x, y))`.
+    fn input_grad(&self, params: &[f64], x: &[f64], y: Target) -> Vec<f64>;
+
+    /// Model output for one input.
+    fn predict(&self, params: &[f64], x: &[f64]) -> Prediction;
+
+    /// Fraction of correctly classified samples; 0 for an empty batch.
+    ///
+    /// Regression models report the fraction of targets within ±0.5.
+    fn accuracy(&self, params: &[f64], batch: &Batch) -> f64 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        let correct = batch
+            .iter()
+            .filter(|(x, y)| match (self.predict(params, x), y) {
+                (Prediction::Class { label, .. }, Target::Class(c)) => label == *c,
+                (Prediction::Value(v), Target::Value(t)) => (v - t).abs() <= 0.5,
+                _ => false,
+            })
+            .count();
+        correct as f64 / batch.len() as f64
+    }
+}
+
+/// Central finite-difference Hessian–vector product used as the [`Model`]
+/// default: `(∇L(θ + εv) − ∇L(θ − εv)) / 2ε`.
+///
+/// `ε` is scaled by `‖θ‖/‖v‖` so the probe stays well-conditioned for large
+/// or small parameter vectors. Returns zeros when `v = 0`.
+pub(crate) fn finite_difference_hvp<F>(grad: F, params: &[f64], v: &[f64]) -> Vec<f64>
+where
+    F: Fn(&[f64]) -> Vec<f64>,
+{
+    let vn = fml_linalg::vector::norm2(v);
+    if vn == 0.0 {
+        return vec![0.0; params.len()];
+    }
+    let scale = (1.0 + fml_linalg::vector::norm2(params)) / vn;
+    let eps = 1e-6 * scale;
+    let mut plus = params.to_vec();
+    let mut minus = params.to_vec();
+    fml_linalg::vector::axpy(eps, v, &mut plus);
+    fml_linalg::vector::axpy(-eps, v, &mut minus);
+    let gp = grad(&plus);
+    let gm = grad(&minus);
+    gp.iter()
+        .zip(&gm)
+        .map(|(a, b)| (a - b) / (2.0 * eps))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_accessors() {
+        let p = Prediction::Class {
+            label: 2,
+            probs: vec![0.1, 0.2, 0.7],
+        };
+        assert_eq!(p.label(), Some(2));
+        assert_eq!(p.value(), None);
+        let v = Prediction::Value(1.5);
+        assert_eq!(v.value(), Some(1.5));
+        assert_eq!(v.label(), None);
+    }
+
+    #[test]
+    fn finite_difference_hvp_on_quadratic_is_exact() {
+        // L(θ) = ½ θᵀ A θ with A = diag(1, 2, 3) ⇒ ∇²L·v = A·v exactly.
+        let a = [1.0, 2.0, 3.0];
+        let grad = |p: &[f64]| -> Vec<f64> { p.iter().zip(&a).map(|(x, ai)| ai * x).collect() };
+        let theta = [0.5, -1.0, 2.0];
+        let v = [1.0, 1.0, -1.0];
+        let hv = finite_difference_hvp(grad, &theta, &v);
+        let expect = [1.0, 2.0, -3.0];
+        for (g, e) in hv.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-4, "got {g}, want {e}");
+        }
+    }
+
+    #[test]
+    fn finite_difference_hvp_zero_vector() {
+        let grad = |p: &[f64]| p.to_vec();
+        let hv = finite_difference_hvp(grad, &[1.0, 2.0], &[0.0, 0.0]);
+        assert_eq!(hv, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn model_trait_is_object_safe() {
+        fn _takes_dyn(_m: &dyn Model) {}
+    }
+}

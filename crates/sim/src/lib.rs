@@ -1,0 +1,37 @@
+//! Platform-aided edge-computing simulator.
+//!
+//! The paper's system (Figure 1) is a *platform* coordinating a federation
+//! of *edge nodes* over a wireless network where "communication cost …
+//! is often a significant bottleneck". This crate provides that substrate
+//! so the trade-off the theory exposes — more local steps `T0` per round
+//! buys fewer communication rounds at the price of a larger convergence
+//! floor — can be *measured* rather than asserted:
+//!
+//! * [`message`] — the wire protocol: length-prefixed binary frames for
+//!   model broadcasts and updates, so byte counts are real serialized
+//!   sizes, not estimates;
+//! * [`network`] — per-link bandwidth/latency/loss models with
+//!   retransmission accounting;
+//! * [`stats`] — communication and computation meters;
+//! * [`runner`] — the round-based executor: broadcast → parallel local
+//!   update (real threads via crossbeam) → upload → aggregate, with node
+//!   dropout and straggler injection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod energy;
+pub mod message;
+pub mod network;
+pub mod runner;
+pub mod stats;
+pub mod trace;
+
+pub use adaptive::{run_adaptive_fedml, AdaptiveOutput, AdaptiveT0Config};
+pub use energy::{EnergyModel, EnergyStats};
+pub use message::Message;
+pub use network::{LinkModel, Network};
+pub use runner::{EdgeProfile, SimConfig, SimOutput, SimRunner};
+pub use stats::{CommStats, ComputeStats};
+pub use trace::{RoundTrace, TraceLog};

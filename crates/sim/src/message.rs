@@ -1,0 +1,266 @@
+//! The platform⇄edge wire protocol.
+//!
+//! Messages are encoded as length-prefixed binary frames:
+//!
+//! ```text
+//! [ tag: u8 ][ round: u32 ][ node: u32 ][ len: u32 ][ f64 × len ]
+//! ```
+//!
+//! All integers and floats are little-endian. The format exists so that
+//! the simulator's communication accounting reflects *actual serialized
+//! bytes* — the quantity a real deployment pays for on the uplink.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Frame header size in bytes (tag + round + node + len).
+pub const HEADER_LEN: usize = 1 + 4 + 4 + 4;
+
+const TAG_GLOBAL: u8 = 1;
+const TAG_UPDATE: u8 = 2;
+
+/// A message on the platform⇄edge link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Platform → node broadcast of the global model for a round.
+    GlobalModel {
+        /// Communication round index.
+        round: u32,
+        /// Flat global parameters.
+        params: Vec<f64>,
+    },
+    /// Node → platform upload of locally updated parameters.
+    ModelUpdate {
+        /// Communication round index.
+        round: u32,
+        /// Reporting node id.
+        node: u32,
+        /// Flat updated parameters.
+        params: Vec<f64>,
+    },
+}
+
+/// Errors from decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The buffer is shorter than a frame header.
+    Truncated,
+    /// The tag byte is not a known message type.
+    UnknownTag(u8),
+    /// The payload length field disagrees with the buffer size.
+    LengthMismatch {
+        /// Bytes the header claims follow.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "frame shorter than header"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "payload length mismatch: expected {expected}, got {actual}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Message {
+    /// The round this message belongs to.
+    pub fn round(&self) -> u32 {
+        match self {
+            Message::GlobalModel { round, .. } | Message::ModelUpdate { round, .. } => *round,
+        }
+    }
+
+    /// Borrow of the carried parameters.
+    pub fn params(&self) -> &[f64] {
+        match self {
+            Message::GlobalModel { params, .. } | Message::ModelUpdate { params, .. } => params,
+        }
+    }
+
+    /// Serialized size in bytes (what the link will be charged).
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + 8 * self.params().len()
+    }
+
+    /// Encodes into a binary frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        match self {
+            Message::GlobalModel { round, params } => {
+                buf.put_u8(TAG_GLOBAL);
+                buf.put_u32_le(*round);
+                buf.put_u32_le(0);
+                buf.put_u32_le(params.len() as u32);
+                for &p in params {
+                    buf.put_f64_le(p);
+                }
+            }
+            Message::ModelUpdate {
+                round,
+                node,
+                params,
+            } => {
+                buf.put_u8(TAG_UPDATE);
+                buf.put_u32_le(*round);
+                buf.put_u32_le(*node);
+                buf.put_u32_le(params.len() as u32);
+                for &p in params {
+                    buf.put_f64_le(p);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a binary frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] for truncated frames, unknown tags, or
+    /// length mismatches.
+    pub fn decode(mut frame: &[u8]) -> Result<Self, DecodeError> {
+        if frame.len() < HEADER_LEN {
+            return Err(DecodeError::Truncated);
+        }
+        let tag = frame.get_u8();
+        let round = frame.get_u32_le();
+        let node = frame.get_u32_le();
+        let len = frame.get_u32_le() as usize;
+        if frame.len() != 8 * len {
+            return Err(DecodeError::LengthMismatch {
+                expected: 8 * len,
+                actual: frame.len(),
+            });
+        }
+        let mut params = Vec::with_capacity(len);
+        for _ in 0..len {
+            params.push(frame.get_f64_le());
+        }
+        match tag {
+            TAG_GLOBAL => Ok(Message::GlobalModel { round, params }),
+            TAG_UPDATE => Ok(Message::ModelUpdate {
+                round,
+                node,
+                params,
+            }),
+            t => Err(DecodeError::UnknownTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_global() {
+        let m = Message::GlobalModel {
+            round: 7,
+            params: vec![1.5, -2.5, 0.0],
+        };
+        let bytes = m.encode();
+        assert_eq!(bytes.len(), m.encoded_len());
+        assert_eq!(Message::decode(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn roundtrip_update() {
+        let m = Message::ModelUpdate {
+            round: 3,
+            node: 42,
+            params: vec![f64::MAX, f64::MIN_POSITIVE],
+        };
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_params_are_legal() {
+        let m = Message::GlobalModel {
+            round: 0,
+            params: vec![],
+        };
+        assert_eq!(m.encoded_len(), HEADER_LEN);
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        assert_eq!(Message::decode(&[1, 2, 3]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut bytes = Message::GlobalModel {
+            round: 0,
+            params: vec![],
+        }
+        .encode()
+        .to_vec();
+        bytes[0] = 99;
+        assert_eq!(Message::decode(&bytes), Err(DecodeError::UnknownTag(99)));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut bytes = Message::GlobalModel {
+            round: 0,
+            params: vec![1.0],
+        }
+        .encode()
+        .to_vec();
+        bytes.truncate(bytes.len() - 1);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(DecodeError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let m = Message::ModelUpdate {
+            round: 5,
+            node: 1,
+            params: vec![2.0],
+        };
+        assert_eq!(m.round(), 5);
+        assert_eq!(m.params(), &[2.0]);
+    }
+
+    #[test]
+    fn decode_error_display() {
+        assert!(DecodeError::Truncated.to_string().contains("header"));
+        assert!(DecodeError::UnknownTag(7).to_string().contains('7'));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_arbitrary(
+            round in 0u32..u32::MAX,
+            node in 0u32..u32::MAX,
+            params in proptest::collection::vec(-1e12f64..1e12, 0..64),
+        ) {
+            let m = Message::ModelUpdate { round, node, params };
+            prop_assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+        }
+
+        #[test]
+        fn prop_encoded_len_exact(
+            params in proptest::collection::vec(-1.0f64..1.0, 0..32),
+        ) {
+            let m = Message::GlobalModel { round: 1, params };
+            prop_assert_eq!(m.encode().len(), m.encoded_len());
+        }
+    }
+}

@@ -1,0 +1,831 @@
+//! The round-based simulation executor.
+//!
+//! Each communication round:
+//!
+//! 1. the platform serializes the global model into a
+//!    [`Message::GlobalModel`] frame and broadcasts it (downlink cost per
+//!    participating node);
+//! 2. participating nodes decode it and run their `T0` local iterations —
+//!    executed on real threads via `crossbeam` so large federations use
+//!    the host's cores;
+//! 3. each node serializes a [`Message::ModelUpdate`] and uploads it
+//!    (uplink cost);
+//! 4. the platform aggregates with size-proportional weights renormalized
+//!    over the round's participants.
+//!
+//! Failure injection: per-round node dropout and deterministic straggler
+//! assignment with a configurable slowdown; the synchronous-round
+//! critical path (max over participants) is what accrues to simulated
+//! wall-clock time, matching how stragglers hurt real federated systems.
+
+use fml_core::{FedAvg, FedMl, SourceTask};
+use fml_models::Model;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::message::Message;
+use crate::network::Network;
+use crate::stats::{CommStats, ComputeStats};
+use crate::trace::{RoundTrace, TraceLog};
+
+/// Per-node execution profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeProfile {
+    /// Relative compute speed (1.0 = nominal; stragglers < 1.0).
+    pub speed: f64,
+}
+
+impl Default for EdgeProfile {
+    fn default() -> Self {
+        EdgeProfile { speed: 1.0 }
+    }
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Network model charged for every message.
+    pub network: Network,
+    /// Per-node per-round dropout probability.
+    pub dropout_prob: f64,
+    /// Fraction `C` of clients the platform selects each round (McMahan
+    /// et al.'s client sampling); 1.0 = all clients.
+    pub client_fraction: f64,
+    /// Fraction of nodes designated stragglers (assigned by index,
+    /// deterministically).
+    pub straggler_frac: f64,
+    /// Straggler speed multiplier (e.g. 0.25 = 4× slower).
+    pub straggler_speed: f64,
+    /// Platform waits only for the fastest `wait_fraction` of the round's
+    /// participants before aggregating; slower nodes' updates are dropped
+    /// that round (straggler mitigation à la partial aggregation). 1.0 =
+    /// synchronous (wait for everyone).
+    pub wait_fraction: f64,
+    /// Nominal seconds per local iteration on a speed-1.0 node.
+    pub iteration_time_s: f64,
+    /// Worker threads for parallel local updates.
+    pub threads: usize,
+}
+
+impl SimConfig {
+    /// A default edge deployment: asymmetric lossy links, no failures,
+    /// 10 ms per local iteration, 4 worker threads.
+    pub fn edge() -> Self {
+        SimConfig {
+            network: Network::edge(),
+            dropout_prob: 0.0,
+            client_fraction: 1.0,
+            straggler_frac: 0.0,
+            straggler_speed: 0.25,
+            wait_fraction: 1.0,
+            iteration_time_s: 0.01,
+            threads: 4,
+        }
+    }
+
+    /// An ideal deployment (free network, no failures) for equivalence
+    /// testing against the sequential reference implementation.
+    pub fn ideal() -> Self {
+        SimConfig {
+            network: Network::ideal(),
+            dropout_prob: 0.0,
+            client_fraction: 1.0,
+            straggler_frac: 0.0,
+            straggler_speed: 1.0,
+            wait_fraction: 1.0,
+            iteration_time_s: 0.0,
+            threads: 4,
+        }
+    }
+
+    /// Sets the dropout probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1)`.
+    pub fn with_dropout(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout must be in [0, 1)");
+        self.dropout_prob = p;
+        self
+    }
+
+    /// Designates a fraction of nodes as stragglers with the given speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `frac` is outside `[0, 1]` or `speed <= 0`.
+    pub fn with_stragglers(mut self, frac: f64, speed: f64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "straggler fraction in [0, 1]");
+        assert!(speed > 0.0, "straggler speed must be positive");
+        self.straggler_frac = frac;
+        self.straggler_speed = speed;
+        self
+    }
+
+    /// Sets the client-sampling fraction `C`: each round the platform
+    /// uniformly selects `max(1, round(C·n))` clients to participate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c` is outside `(0, 1]`.
+    pub fn with_client_fraction(mut self, c: f64) -> Self {
+        assert!(c > 0.0 && c <= 1.0, "client fraction must be in (0, 1]");
+        self.client_fraction = c;
+        self
+    }
+
+    /// Sets the worker thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Platform aggregates once the fastest `f` fraction of participants
+    /// has reported; the rest are dropped for the round.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `f` is outside `(0, 1]`.
+    pub fn with_wait_fraction(mut self, f: f64) -> Self {
+        assert!(f > 0.0 && f <= 1.0, "wait fraction must be in (0, 1]");
+        self.wait_fraction = f;
+        self
+    }
+
+    /// Sets the nominal per-iteration compute time.
+    pub fn with_iteration_time(mut self, secs: f64) -> Self {
+        self.iteration_time_s = secs;
+        self
+    }
+}
+
+/// Result of a simulated federated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutput {
+    /// Final global parameters.
+    pub params: Vec<f64>,
+    /// Communication meter.
+    pub comm: CommStats,
+    /// Computation meter.
+    pub compute: ComputeStats,
+    /// Participant count per round.
+    pub participants: Vec<usize>,
+    /// `(round, weighted meta loss)` curve at aggregation points.
+    pub history: Vec<(usize, f64)>,
+    /// Per-round flight-recorder trace.
+    pub trace: TraceLog,
+}
+
+impl SimOutput {
+    /// Total simulated wall clock: communication + computation critical
+    /// paths.
+    pub fn wall_clock_s(&self) -> f64 {
+        self.comm.time_s + self.compute.time_s
+    }
+}
+
+/// Per-iteration oracle-call profile of an algorithm, used for compute
+/// accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OracleProfile {
+    grads: u64,
+    hvps: u64,
+}
+
+/// The per-node local-update function the executor fans out:
+/// `(task, start parameters, steps) -> updated parameters`.
+type LocalUpdateFn<'a> = dyn Fn(&SourceTask, &[f64], usize) -> Vec<f64> + Sync + 'a;
+
+/// The round-based executor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimRunner {
+    cfg: SimConfig,
+}
+
+impl SimRunner {
+    /// Creates a runner.
+    pub fn new(cfg: SimConfig) -> Self {
+        SimRunner { cfg }
+    }
+
+    /// Borrow of the configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Simulates FedML (Algorithm 1) over the platform-aided architecture.
+    ///
+    /// With [`SimConfig::ideal`] and no failures this produces parameters
+    /// identical to [`FedMl::train_from`] (verified in tests): the
+    /// simulator adds the systems layer without changing the algorithm.
+    pub fn run_fedml(
+        &self,
+        fedml: &FedMl,
+        model: &dyn Model,
+        tasks: &[SourceTask],
+        theta0: &[f64],
+        rng: &mut StdRng,
+    ) -> SimOutput {
+        let t0 = fedml.config().local_steps;
+        let rounds = fedml.config().rounds;
+        let alpha = fedml.config().alpha;
+        // Per local iteration: inner grad + outer grad + one HVP.
+        let profile = OracleProfile { grads: 2, hvps: 1 };
+        self.run(
+            model,
+            tasks,
+            theta0,
+            rounds,
+            t0,
+            alpha,
+            profile,
+            &|task, theta, steps| fedml.local_update(model, task, theta, steps),
+            rng,
+        )
+    }
+
+    /// Simulates FedAvg over the same architecture.
+    pub fn run_fedavg(
+        &self,
+        fedavg: &FedAvg,
+        model: &dyn Model,
+        tasks: &[SourceTask],
+        theta0: &[f64],
+        rng: &mut StdRng,
+    ) -> SimOutput {
+        let t0 = fedavg.config().local_steps;
+        let rounds = fedavg.config().rounds;
+        let alpha = fedavg.config().eval_alpha;
+        let profile = OracleProfile { grads: 1, hvps: 0 };
+        self.run(
+            model,
+            tasks,
+            theta0,
+            rounds,
+            t0,
+            alpha,
+            profile,
+            &|task, theta, steps| fedavg.local_update(model, task, theta, steps),
+            rng,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        &self,
+        model: &dyn Model,
+        tasks: &[SourceTask],
+        theta0: &[f64],
+        rounds: usize,
+        t0: usize,
+        eval_alpha: f64,
+        profile: OracleProfile,
+        local: &LocalUpdateFn<'_>,
+        rng: &mut StdRng,
+    ) -> SimOutput {
+        assert!(!tasks.is_empty(), "SimRunner: no source tasks");
+        assert_eq!(theta0.len(), model.param_len(), "SimRunner: bad theta0");
+        let cfg = &self.cfg;
+        let n = tasks.len();
+        let straggler_count = (cfg.straggler_frac * n as f64).round() as usize;
+        let profiles: Vec<EdgeProfile> = (0..n)
+            .map(|i| EdgeProfile {
+                speed: if i < straggler_count {
+                    cfg.straggler_speed
+                } else {
+                    1.0
+                },
+            })
+            .collect();
+
+        let mut global = theta0.to_vec();
+        let mut comm = CommStats::default();
+        let mut compute = ComputeStats::default();
+        let mut participants_per_round = Vec::with_capacity(rounds);
+        let mut history = Vec::with_capacity(rounds);
+        let mut trace = TraceLog::new();
+
+        for round in 1..=rounds {
+            let bytes_before = comm.bytes_up + comm.bytes_down;
+            let retx_before = comm.retransmissions;
+            let comm_time_before = comm.time_s;
+            // --- participation draw ---
+            // Platform-side client sampling (McMahan's C) first, then
+            // device-side dropout among the selected clients.
+            let mut selected: Vec<usize> = (0..n).collect();
+            if cfg.client_fraction < 1.0 {
+                let want = ((cfg.client_fraction * n as f64).round() as usize).max(1);
+                // Partial Fisher–Yates for the first `want` positions.
+                for i in 0..want.min(n - 1) {
+                    let j = rng.gen_range(i..n);
+                    selected.swap(i, j);
+                }
+                selected.truncate(want);
+                selected.sort_unstable();
+            }
+            let mut participants: Vec<usize> = selected
+                .into_iter()
+                .filter(|_| rng.gen::<f64>() >= cfg.dropout_prob)
+                .collect();
+            if participants.is_empty() {
+                participants.push(rng.gen_range(0..n));
+            }
+            // Straggler mitigation: keep only the fastest wait_fraction of
+            // the round's participants (compute time = T0 / speed).
+            if cfg.wait_fraction < 1.0 && participants.len() > 1 {
+                let keep = ((cfg.wait_fraction * participants.len() as f64).ceil() as usize)
+                    .clamp(1, participants.len());
+                participants.sort_by(|&a, &b| {
+                    profiles[b]
+                        .speed
+                        .partial_cmp(&profiles[a].speed)
+                        .expect("finite speeds")
+                        .then(a.cmp(&b))
+                });
+                participants.truncate(keep);
+                participants.sort_unstable();
+            }
+            participants_per_round.push(participants.len());
+
+            // --- downlink broadcast (platform serializes once; each node
+            // is charged its own transfer; round latency = slowest) ---
+            let broadcast = Message::GlobalModel {
+                round: round as u32,
+                params: global.clone(),
+            };
+            let frame = broadcast.encode();
+            let mut down_time = 0.0f64;
+            for _ in &participants {
+                let t = cfg.network.send_down(frame.len(), rng);
+                comm.bytes_down += frame.len() as u64;
+                comm.wire_bytes += t.wire_bytes as u64;
+                comm.retransmissions += t.retransmissions as u64;
+                comm.messages += 1;
+                down_time = down_time.max(t.time_s);
+            }
+
+            // --- parallel local updates ---
+            let decoded = Message::decode(&frame).expect("self-encoded frame");
+            let start_params = decoded.params().to_vec();
+            let updated =
+                parallel_local_updates(cfg.threads, &participants, tasks, &start_params, t0, local);
+
+            // compute accounting: critical path = slowest participant.
+            let mut round_compute = 0.0f64;
+            for &i in &participants {
+                let node_time = cfg.iteration_time_s * t0 as f64 / profiles[i].speed;
+                round_compute = round_compute.max(node_time);
+                compute.grad_evals += profile.grads * t0 as u64;
+                compute.hvp_evals += profile.hvps * t0 as u64;
+                compute.local_iterations += t0 as u64;
+            }
+            compute.time_s += round_compute;
+
+            // --- uplink: each participant serializes and uploads ---
+            let mut up_time = 0.0f64;
+            let mut frames = Vec::with_capacity(participants.len());
+            for (slot, &i) in participants.iter().enumerate() {
+                let msg = Message::ModelUpdate {
+                    round: round as u32,
+                    node: tasks[i].id as u32,
+                    params: updated[slot].clone(),
+                };
+                let f = msg.encode();
+                let t = cfg.network.send_up(f.len(), rng);
+                comm.bytes_up += f.len() as u64;
+                comm.wire_bytes += t.wire_bytes as u64;
+                comm.retransmissions += t.retransmissions as u64;
+                comm.messages += 1;
+                up_time = up_time.max(t.time_s);
+                frames.push(f);
+            }
+            comm.time_s += down_time + up_time;
+
+            // --- platform decodes and aggregates (renormalized weights) ---
+            let mut weight_sum = 0.0;
+            let mut agg = vec![0.0; global.len()];
+            for (f, &i) in frames.iter().zip(&participants) {
+                let msg = Message::decode(f).expect("self-encoded frame");
+                let w = tasks[i].weight;
+                fml_linalg::vector::axpy(w, msg.params(), &mut agg);
+                weight_sum += w;
+            }
+            fml_linalg::vector::scale_in_place(1.0 / weight_sum, &mut agg);
+            global = agg;
+
+            let meta_loss = fml_core::weighted_meta_loss(model, tasks, &global, eval_alpha);
+            history.push((round, meta_loss));
+            trace.push(RoundTrace {
+                round,
+                participants: participants.iter().map(|&i| tasks[i].id).collect(),
+                local_steps: t0,
+                bytes: comm.bytes_up + comm.bytes_down - bytes_before,
+                retransmissions: comm.retransmissions - retx_before,
+                comm_time_s: comm.time_s - comm_time_before,
+                compute_time_s: round_compute,
+                meta_loss,
+            });
+        }
+
+        SimOutput {
+            params: global,
+            comm,
+            compute,
+            participants: participants_per_round,
+            history,
+            trace,
+        }
+    }
+}
+
+/// Fans the participants' local updates across `threads` workers with
+/// crossbeam scoped threads; returns results in participant order.
+fn parallel_local_updates(
+    threads: usize,
+    participants: &[usize],
+    tasks: &[SourceTask],
+    start: &[f64],
+    t0: usize,
+    local: &LocalUpdateFn<'_>,
+) -> Vec<Vec<f64>> {
+    let workers = threads.min(participants.len()).max(1);
+    if workers == 1 {
+        return participants
+            .iter()
+            .map(|&i| local(&tasks[i], start, t0))
+            .collect();
+    }
+    let chunk = participants.len().div_ceil(workers);
+    let mut results: Vec<Vec<Vec<f64>>> = Vec::with_capacity(workers);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = participants
+            .chunks(chunk)
+            .map(|idx_chunk| {
+                scope.spawn(move |_| {
+                    idx_chunk
+                        .iter()
+                        .map(|&i| local(&tasks[i], start, t0))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("local update worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fml_core::{FedAvgConfig, FedMlConfig};
+    use fml_data::NodeData;
+    use fml_linalg::Matrix;
+    use fml_models::{Batch, Quadratic, SoftmaxRegression};
+    use rand::SeedableRng;
+
+    fn quad_tasks(centers: &[(f64, f64)]) -> Vec<SourceTask> {
+        let nodes: Vec<NodeData> = centers
+            .iter()
+            .enumerate()
+            .map(|(id, &(a, b))| {
+                let rows: Vec<Vec<f64>> = (0..4).map(|_| vec![a, b]).collect();
+                let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                NodeData {
+                    id,
+                    batch: Batch::regression(Matrix::from_rows(&refs).unwrap(), vec![0.0; 4])
+                        .unwrap(),
+                }
+            })
+            .collect();
+        SourceTask::from_nodes_deterministic(&nodes, 2)
+    }
+
+    #[test]
+    fn ideal_sim_matches_sequential_fedml() {
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(1.0, 2.0), (-2.0, 1.0), (0.5, -1.5)]);
+        let cfg = FedMlConfig::new(0.1, 0.15)
+            .with_local_steps(4)
+            .with_rounds(10);
+        let fedml = FedMl::new(cfg);
+        let theta0 = vec![1.0, -1.0];
+        let reference = fedml.train_from(&model, &tasks, &theta0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let sim =
+            SimRunner::new(SimConfig::ideal()).run_fedml(&fedml, &model, &tasks, &theta0, &mut rng);
+        assert!(
+            fml_linalg::vector::approx_eq(&sim.params, &reference.params, 1e-12),
+            "simulated and sequential FedML must agree: {:?} vs {:?}",
+            sim.params,
+            reference.params
+        );
+    }
+
+    #[test]
+    fn comm_accounting_matches_message_sizes() {
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(1.0, 0.0), (-1.0, 0.0)]);
+        let cfg = FedMlConfig::new(0.1, 0.1)
+            .with_local_steps(2)
+            .with_rounds(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let sim = SimRunner::new(SimConfig::edge()).run_fedml(
+            &FedMl::new(cfg),
+            &model,
+            &tasks,
+            &[0.0, 0.0],
+            &mut rng,
+        );
+        // Each message: header + 2 f64 = 13 + 16 = 29 bytes; per round:
+        // 2 downlinks + 2 uplinks; 3 rounds ⇒ 12 messages, 348 bytes.
+        let frame = Message::GlobalModel {
+            round: 1,
+            params: vec![0.0, 0.0],
+        }
+        .encoded_len() as u64;
+        assert_eq!(sim.comm.messages, 12);
+        assert_eq!(sim.comm.bytes_down, 6 * frame);
+        assert_eq!(sim.comm.bytes_up, 6 * frame);
+        assert!(sim.comm.time_s > 0.0);
+        assert!(sim.wall_clock_s() >= sim.comm.time_s);
+    }
+
+    #[test]
+    fn compute_accounting_counts_oracles() {
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(1.0, 0.0), (-1.0, 0.0)]);
+        let cfg = FedMlConfig::new(0.1, 0.1)
+            .with_local_steps(5)
+            .with_rounds(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let sim = SimRunner::new(SimConfig::ideal()).run_fedml(
+            &FedMl::new(cfg),
+            &model,
+            &tasks,
+            &[0.0, 0.0],
+            &mut rng,
+        );
+        // 2 nodes × 2 rounds × 5 iterations: 20 iterations, 40 grads, 20 HVPs.
+        assert_eq!(sim.compute.local_iterations, 20);
+        assert_eq!(sim.compute.grad_evals, 40);
+        assert_eq!(sim.compute.hvp_evals, 20);
+    }
+
+    #[test]
+    fn dropout_reduces_participation() {
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0)]);
+        let cfg = FedMlConfig::new(0.1, 0.1)
+            .with_local_steps(2)
+            .with_rounds(30);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let sim = SimRunner::new(SimConfig::ideal().with_dropout(0.5)).run_fedml(
+            &FedMl::new(cfg),
+            &model,
+            &tasks,
+            &[0.0, 0.0],
+            &mut rng,
+        );
+        let total: usize = sim.participants.iter().sum();
+        assert!(total < 30 * 4, "dropout should reduce participation");
+        assert!(sim.participants.iter().all(|&p| p >= 1), "never empty");
+        assert!(sim.params.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn stragglers_increase_compute_critical_path() {
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0)]);
+        let cfg = FedMlConfig::new(0.1, 0.1)
+            .with_local_steps(3)
+            .with_rounds(5);
+        let base = SimConfig::ideal().with_iteration_time(0.01);
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(4);
+        let fast =
+            SimRunner::new(base).run_fedml(&FedMl::new(cfg), &model, &tasks, &[0.0; 2], &mut r1);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(4);
+        let slow = SimRunner::new(base.with_stragglers(0.25, 0.1)).run_fedml(
+            &FedMl::new(cfg),
+            &model,
+            &tasks,
+            &[0.0; 2],
+            &mut r2,
+        );
+        assert!(
+            slow.compute.time_s > 5.0 * fast.compute.time_s,
+            "a 10x straggler should dominate the critical path: {} vs {}",
+            slow.compute.time_s,
+            fast.compute.time_s
+        );
+        // Same parameters — stragglers are slow, not wrong.
+        assert!(fml_linalg::vector::approx_eq(
+            &slow.params,
+            &fast.params,
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn fedavg_simulation_runs() {
+        let model = SoftmaxRegression::new(3, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let fed = fml_data::synthetic::SyntheticConfig::new(0.5, 0.5)
+            .with_nodes(4)
+            .with_dim(3)
+            .with_classes(2)
+            .generate(&mut rng);
+        let tasks = SourceTask::from_nodes_deterministic(fed.nodes(), 3);
+        let cfg = FedAvgConfig::new(0.05).with_local_steps(3).with_rounds(4);
+        let theta0 = vec![0.0; fml_models::Model::param_len(&model)];
+        let sim = SimRunner::new(SimConfig::edge()).run_fedavg(
+            &FedAvg::new(cfg),
+            &model,
+            &tasks,
+            &theta0,
+            &mut rng,
+        );
+        assert_eq!(sim.history.len(), 4);
+        assert_eq!(
+            sim.compute.hvp_evals, 0,
+            "FedAvg uses no second-order oracle"
+        );
+        assert!(sim.comm.total_bytes() > 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[
+            (1.0, 1.0),
+            (-1.0, 1.0),
+            (1.0, -1.0),
+            (-1.0, -1.0),
+            (0.0, 2.0),
+        ]);
+        let cfg = FedMlConfig::new(0.1, 0.1)
+            .with_local_steps(3)
+            .with_rounds(6);
+        let mut outs = Vec::new();
+        for threads in [1, 2, 8] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+            let sim = SimRunner::new(SimConfig::ideal().with_threads(threads)).run_fedml(
+                &FedMl::new(cfg),
+                &model,
+                &tasks,
+                &[0.3, -0.3],
+                &mut rng,
+            );
+            outs.push(sim.params);
+        }
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[1], outs[2]);
+    }
+
+    #[test]
+    fn wait_fraction_drops_stragglers_and_cuts_wall_clock() {
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0)]);
+        let cfg = FedMlConfig::new(0.1, 0.1)
+            .with_local_steps(4)
+            .with_rounds(6);
+        // Node 0 is a 10x straggler.
+        let base = SimConfig::ideal()
+            .with_iteration_time(0.01)
+            .with_stragglers(0.25, 0.1);
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(41);
+        let sync =
+            SimRunner::new(base).run_fedml(&FedMl::new(cfg), &model, &tasks, &[1.0, 1.0], &mut r1);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(41);
+        let partial = SimRunner::new(base.with_wait_fraction(0.75)).run_fedml(
+            &FedMl::new(cfg),
+            &model,
+            &tasks,
+            &[1.0, 1.0],
+            &mut r2,
+        );
+        // The straggler (node id 0) never makes the cut.
+        assert!(partial
+            .trace
+            .rounds()
+            .iter()
+            .all(|r| !r.participants.contains(&0)));
+        assert!(partial.participants.iter().all(|&p| p == 3));
+        // Wall clock improves by roughly the straggler's slowdown.
+        assert!(
+            partial.compute.time_s * 5.0 < sync.compute.time_s,
+            "partial {} vs sync {}",
+            partial.compute.time_s,
+            sync.compute.time_s
+        );
+        // Training still converges (fewer nodes, same objective family).
+        assert!(partial.history.last().unwrap().1 < partial.history.first().unwrap().1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wait fraction must be in (0, 1]")]
+    fn rejects_zero_wait_fraction() {
+        SimConfig::ideal().with_wait_fraction(0.0);
+    }
+
+    #[test]
+    fn trace_is_coherent_with_meters() {
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(1.0, 0.0), (-1.0, 0.0), (0.0, 1.0)]);
+        let cfg = FedMlConfig::new(0.1, 0.1)
+            .with_local_steps(3)
+            .with_rounds(5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let sim = SimRunner::new(SimConfig::edge()).run_fedml(
+            &FedMl::new(cfg),
+            &model,
+            &tasks,
+            &[0.5, -0.5],
+            &mut rng,
+        );
+        assert_eq!(sim.trace.len(), 5);
+        assert_eq!(sim.trace.total_bytes(), sim.comm.total_bytes());
+        assert!((sim.trace.wall_clock_s() - sim.wall_clock_s()).abs() < 1e-9);
+        assert_eq!(sim.trace.mean_participants(), 3.0);
+        for (r, h) in sim.trace.rounds().iter().zip(&sim.history) {
+            assert_eq!(r.meta_loss, h.1);
+            assert_eq!(r.local_steps, 3);
+        }
+        // JSON-lines roundtrip of a real trace.
+        let back = crate::trace::TraceLog::from_jsonl(&sim.trace.to_jsonl()).unwrap();
+        assert_eq!(back, sim.trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout must be in [0, 1)")]
+    fn rejects_certain_dropout() {
+        SimConfig::ideal().with_dropout(1.0);
+    }
+
+    #[test]
+    fn client_sampling_limits_participation() {
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[
+            (1.0, 0.0),
+            (-1.0, 0.0),
+            (0.0, 1.0),
+            (0.0, -1.0),
+            (1.0, 1.0),
+            (-1.0, -1.0),
+        ]);
+        let cfg = FedMlConfig::new(0.1, 0.1)
+            .with_local_steps(2)
+            .with_rounds(20);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let sim = SimRunner::new(SimConfig::ideal().with_client_fraction(0.5)).run_fedml(
+            &FedMl::new(cfg),
+            &model,
+            &tasks,
+            &[0.0, 0.0],
+            &mut rng,
+        );
+        assert!(
+            sim.participants.iter().all(|&p| p == 3),
+            "C=0.5 of 6 nodes = 3 per round"
+        );
+        // Fewer participants ⇒ proportionally fewer uplink messages than
+        // full participation.
+        assert_eq!(sim.comm.messages, 20 * 2 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "client fraction must be in (0, 1]")]
+    fn rejects_zero_client_fraction() {
+        SimConfig::ideal().with_client_fraction(0.0);
+    }
+
+    #[test]
+    fn client_sampling_still_converges() {
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(2.0, 0.0), (-2.0, 0.0), (0.0, 2.0), (0.0, -2.0)]);
+        let cfg = FedMlConfig::new(0.1, 0.1)
+            .with_local_steps(2)
+            .with_rounds(60);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let sim = SimRunner::new(SimConfig::ideal().with_client_fraction(0.5)).run_fedml(
+            &FedMl::new(cfg),
+            &model,
+            &tasks,
+            &[3.0, 3.0],
+            &mut rng,
+        );
+        let first = sim.history.first().unwrap().1;
+        let last = sim.history.last().unwrap().1;
+        assert!(
+            last < first,
+            "sampled training should progress: {first} -> {last}"
+        );
+    }
+}

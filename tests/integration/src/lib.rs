@@ -1,0 +1,1 @@
+//! Host crate for cross-crate integration tests (see `tests/`).

@@ -1,0 +1,159 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! federation/model drawn from a family, not just the fixtures the unit
+//! tests pin down.
+
+use fml_core::{adapt, aggregate, FedMl, FedMlConfig, SourceTask};
+use fml_data::NodeData;
+use fml_dro::{RobustSurrogate, SquaredL2Cost};
+use fml_linalg::{vector, Matrix};
+use fml_models::{Batch, LinearRegression, Model, Quadratic, SoftmaxRegression, Target};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Random quadratic federation: `nodes` centers in `[-3, 3]²`.
+fn quad_federation(centers: Vec<(f64, f64)>) -> Vec<SourceTask> {
+    let nodes: Vec<NodeData> = centers
+        .into_iter()
+        .enumerate()
+        .map(|(id, (a, b))| {
+            let rows: Vec<Vec<f64>> = (0..4).map(|_| vec![a, b]).collect();
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            NodeData {
+                id,
+                batch: Batch::regression(Matrix::from_rows(&refs).unwrap(), vec![0.0; 4]).unwrap(),
+            }
+        })
+        .collect();
+    SourceTask::from_nodes_deterministic(&nodes, 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FedML with T0 = 1 must equal centralized meta-gradient descent for
+    /// any federation of shared-curvature quadratics (the affine-dynamics
+    /// argument of DESIGN.md's reproduction finding 2).
+    #[test]
+    fn prop_t0_one_equals_centralized(
+        centers in proptest::collection::vec((-3.0f64..3.0, -3.0f64..3.0), 2..6),
+        curvature in 0.5f64..2.0,
+    ) {
+        let model = Quadratic::isotropic(2, curvature);
+        let tasks = quad_federation(centers);
+        let cfg = FedMlConfig::new(0.1, 0.1).with_local_steps(1).with_rounds(10).with_record_every(0);
+        let fed = FedMl::new(cfg).train_from(&model, &tasks, &[1.0, -1.0]);
+        let (central, _) = FedMl::new(cfg).centralized_optimum(&model, &tasks, &[1.0, -1.0], 10);
+        prop_assert!(vector::approx_eq(&fed.params, &central, 1e-9));
+    }
+
+    /// The platform aggregation must be permutation-invariant: the global
+    /// model cannot depend on the order nodes report in.
+    #[test]
+    fn prop_aggregation_permutation_invariant(
+        centers in proptest::collection::vec((-3.0f64..3.0, -3.0f64..3.0), 3..6),
+        rot in 1usize..5,
+    ) {
+        let tasks = quad_federation(centers);
+        let params: Vec<Vec<f64>> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, _)| vec![i as f64, -(i as f64)])
+            .collect();
+        let direct = aggregate(&tasks, &params);
+        let k = rot % tasks.len();
+        let mut tasks2 = tasks.clone();
+        tasks2.rotate_left(k);
+        let mut params2 = params.clone();
+        params2.rotate_left(k);
+        let rotated = aggregate(&tasks2, &params2);
+        prop_assert!(vector::approx_eq(&direct, &rotated, 1e-12));
+    }
+
+    /// One small-enough adaptation step can never increase the loss of a
+    /// strongly convex smooth model (descent lemma).
+    #[test]
+    fn prop_adaptation_is_descent_for_small_steps(
+        w0 in -2.0f64..2.0,
+        w1 in -2.0f64..2.0,
+        b in -1.0f64..1.0,
+    ) {
+        let model = LinearRegression::new(2).with_l2(0.01);
+        let xs = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[-1.0, 0.5]]).unwrap();
+        let batch = Batch::regression(xs, vec![1.0, -1.0, 0.5, 0.0]).unwrap();
+        let theta = [w0, w1, b];
+        // H ≤ max ‖x̃‖² + l2 ≈ 3.3; step 0.1 is safely below 2/H.
+        let phi = adapt::adapt(&model, &theta, &batch, 0.1, 1);
+        prop_assert!(model.loss(&phi, &batch) <= model.loss(&theta, &batch) + 1e-12);
+    }
+
+    /// The robust surrogate value is always at least the clean sample loss
+    /// (x = x₀ is feasible at zero transport cost), for any λ and any
+    /// model parameters.
+    #[test]
+    fn prop_surrogate_dominates_clean_loss(
+        lambda in 0.0f64..20.0,
+        seed in 0u64..200,
+        x0 in -2.0f64..2.0,
+        x1 in -2.0f64..2.0,
+    ) {
+        let model = SoftmaxRegression::new(2, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let params = model.init_params(&mut rng);
+        let s = RobustSurrogate::new(SquaredL2Cost, lambda).with_steps(5).with_step_size(0.3);
+        let x = [x0, x1];
+        let y = Target::Class((seed % 3) as usize);
+        let clean = model.sample_loss(&params, &x, y);
+        let pt = s.maximize(&model, &params, &x, y);
+        prop_assert!(pt.value + 1e-9 >= clean - lambda * 0.0);
+        prop_assert!(pt.adversarial_loss + 1e-9 >= clean);
+    }
+
+    /// Weighted meta loss is a convex combination: it lies within the
+    /// [min, max] of the per-task meta objectives.
+    #[test]
+    fn prop_weighted_meta_loss_within_task_range(
+        centers in proptest::collection::vec((-3.0f64..3.0, -3.0f64..3.0), 2..6),
+        tx in -2.0f64..2.0,
+        ty in -2.0f64..2.0,
+    ) {
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_federation(centers);
+        let theta = [tx, ty];
+        let total = fml_core::weighted_meta_loss(&model, &tasks, &theta, 0.2);
+        let per_task: Vec<f64> = tasks
+            .iter()
+            .map(|t| fml_core::meta::meta_objective(&model, &theta, &t.split.train, &t.split.test, 0.2))
+            .collect();
+        let lo = per_task.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = per_task.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(total >= lo - 1e-9 && total <= hi + 1e-9);
+    }
+
+    /// Meta-gradients are consistent with the meta objective: moving a
+    /// small step along the negative meta-gradient cannot increase G for
+    /// smooth quadratics.
+    #[test]
+    fn prop_meta_gradient_is_descent_direction(
+        cx in -3.0f64..3.0,
+        cy in -3.0f64..3.0,
+        tx in -3.0f64..3.0,
+        ty in -3.0f64..3.0,
+    ) {
+        let model = Quadratic::isotropic(2, 1.0);
+        let batch = Batch::regression(Matrix::from_rows(&[&[cx, cy]]).unwrap(), vec![0.0]).unwrap();
+        let theta = vec![tx, ty];
+        let g = fml_core::meta::meta_gradient(
+            &model,
+            &theta,
+            &batch,
+            &batch,
+            0.2,
+            fml_core::MetaGradientMode::FullSecondOrder,
+        );
+        let before = fml_core::meta::meta_objective(&model, &theta, &batch, &batch, 0.2);
+        let mut next = theta.clone();
+        vector::axpy(-0.05, &g, &mut next);
+        let after = fml_core::meta::meta_objective(&model, &next, &batch, &batch, 0.2);
+        prop_assert!(after <= before + 1e-9, "{before} -> {after}");
+    }
+}
