@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod compare;
+pub mod perf;
 pub mod workloads;
 
 use serde::{Deserialize, Serialize};

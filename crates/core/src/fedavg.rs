@@ -20,6 +20,10 @@ pub struct FedAvgConfig {
     /// Curve-recording stride (aggregations always recorded; 0 = only
     /// aggregations).
     pub record_every: usize,
+    /// Worker threads for the per-node fan-out; `None` (the default)
+    /// auto-sizes to the host's available parallelism capped at the node
+    /// count. Results are bitwise independent of this setting.
+    pub threads: Option<usize>,
 }
 
 impl FedAvgConfig {
@@ -36,6 +40,7 @@ impl FedAvgConfig {
             rounds: 20,
             eval_alpha: 0.01,
             record_every: 1,
+            threads: None,
         }
     }
 
@@ -65,6 +70,19 @@ impl FedAvgConfig {
     /// Sets the curve-recording stride.
     pub fn with_record_every(mut self, every: usize) -> Self {
         self.record_every = every;
+        self
+    }
+
+    /// Sets the number of worker threads used to fan local node updates
+    /// out across OS threads. Seeded runs are bitwise identical at any
+    /// thread count (see [`crate::parallel`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be at least 1");
+        self.threads = Some(threads);
         self
     }
 }
@@ -136,12 +154,17 @@ impl FedAvg {
         let mut history = Vec::new();
         let mut comm_rounds = 0;
         let total = cfg.rounds * cfg.local_steps;
+        let threads = cfg
+            .threads
+            .unwrap_or_else(|| crate::parallel::default_threads(tasks.len()));
 
         for t in 1..=total {
-            for (batch, theta_i) in full.iter().zip(locals.iter_mut()) {
-                let g = model.grad(theta_i, batch);
-                fml_linalg::vector::axpy(-cfg.lr, &g, theta_i);
-            }
+            locals = crate::parallel::map_ordered(threads, &full, |i, batch| {
+                let mut theta_i = locals[i].clone();
+                let g = model.grad(&theta_i, batch);
+                fml_linalg::vector::axpy(-cfg.lr, &g, &mut theta_i);
+                theta_i
+            });
             let aggregated = t % cfg.local_steps == 0;
             if aggregated {
                 let global = aggregate(tasks, &locals);

@@ -24,6 +24,10 @@ pub struct FedMlConfig {
     /// Record the training curve every this many iterations (aggregation
     /// iterations are always recorded). 0 disables per-iteration records.
     pub record_every: usize,
+    /// Worker threads for the per-node fan-out; `None` (the default)
+    /// auto-sizes to the host's available parallelism capped at the node
+    /// count. Results are bitwise independent of this setting.
+    pub threads: Option<usize>,
 }
 
 impl FedMlConfig {
@@ -42,6 +46,7 @@ impl FedMlConfig {
             rounds: 20,
             mode: MetaGradientMode::FullSecondOrder,
             record_every: 1,
+            threads: None,
         }
     }
 
@@ -78,6 +83,19 @@ impl FedMlConfig {
     /// Sets the curve-recording stride.
     pub fn with_record_every(mut self, every: usize) -> Self {
         self.record_every = every;
+        self
+    }
+
+    /// Sets the number of worker threads used to fan local node updates
+    /// out across OS threads. Seeded runs are bitwise identical at any
+    /// thread count (see [`crate::parallel`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be at least 1");
+        self.threads = Some(threads);
         self
     }
 
@@ -136,19 +154,24 @@ impl FedMl {
         let mut history = Vec::new();
         let mut comm_rounds = 0;
         let total = cfg.total_iterations();
+        let threads = cfg
+            .threads
+            .unwrap_or_else(|| crate::parallel::default_threads(tasks.len()));
 
         for t in 1..=total {
-            for (task, theta_i) in tasks.iter().zip(locals.iter_mut()) {
+            locals = crate::parallel::map_ordered(threads, tasks, |i, task| {
+                let mut theta_i = locals[i].clone();
                 let g = meta::meta_gradient(
                     model,
-                    theta_i,
+                    &theta_i,
                     &task.split.train,
                     &task.split.test,
                     cfg.alpha,
                     cfg.mode,
                 );
-                fml_linalg::vector::axpy(-cfg.beta, &g, theta_i);
-            }
+                fml_linalg::vector::axpy(-cfg.beta, &g, &mut theta_i);
+                theta_i
+            });
             let aggregated = t % cfg.local_steps == 0;
             if aggregated {
                 let global = aggregate(tasks, &locals);

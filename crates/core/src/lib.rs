@@ -58,6 +58,7 @@ pub mod meta;
 mod metasgd;
 pub mod metrics;
 pub mod optim;
+pub mod parallel;
 mod reptile;
 pub mod selection;
 mod robust;

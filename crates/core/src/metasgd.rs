@@ -44,6 +44,10 @@ pub struct MetaSgdConfig {
     pub alpha_max: f64,
     /// Curve-recording stride (0 = aggregations only).
     pub record_every: usize,
+    /// Worker threads for the per-node fan-out; `None` (the default)
+    /// auto-sizes to the host's available parallelism capped at the node
+    /// count. Results are bitwise independent of this setting.
+    pub threads: Option<usize>,
 }
 
 impl MetaSgdConfig {
@@ -61,6 +65,7 @@ impl MetaSgdConfig {
             rounds: 20,
             alpha_max: 10.0 * alpha_init,
             record_every: 1,
+            threads: None,
         }
     }
 
@@ -95,6 +100,19 @@ impl MetaSgdConfig {
     /// Sets the curve-recording stride.
     pub fn with_record_every(mut self, every: usize) -> Self {
         self.record_every = every;
+        self
+    }
+
+    /// Sets the number of worker threads used to fan local node updates
+    /// out across OS threads. Seeded runs are bitwise identical at any
+    /// thread count (see [`crate::parallel`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be at least 1");
+        self.threads = Some(threads);
         self
     }
 }
@@ -195,14 +213,20 @@ impl MetaSgd {
         let mut history = Vec::new();
         let mut comm_rounds = 0;
         let total = cfg.rounds * cfg.local_steps;
+        let threads = cfg
+            .threads
+            .unwrap_or_else(|| crate::parallel::default_threads(tasks.len()));
 
         for t in 1..=total {
-            for ((task, theta_i), rates_i) in tasks
-                .iter()
-                .zip(local_theta.iter_mut())
-                .zip(local_rates.iter_mut())
-            {
-                self.local_step(model, task, theta_i, rates_i);
+            let updated = crate::parallel::map_ordered(threads, tasks, |i, task| {
+                let mut theta_i = local_theta[i].clone();
+                let mut rates_i = local_rates[i].clone();
+                self.local_step(model, task, &mut theta_i, &mut rates_i);
+                (theta_i, rates_i)
+            });
+            for (i, (theta_i, rates_i)) in updated.into_iter().enumerate() {
+                local_theta[i] = theta_i;
+                local_rates[i] = rates_i;
             }
             let aggregated = t % cfg.local_steps == 0;
             if aggregated {

@@ -17,6 +17,10 @@ pub struct ReptileConfig {
     pub rounds: usize,
     /// Adaptation rate for meta-objective curve evaluation.
     pub eval_alpha: f64,
+    /// Worker threads for the per-node fan-out; `None` (the default)
+    /// auto-sizes to the host's available parallelism capped at the node
+    /// count. Results are bitwise independent of this setting.
+    pub threads: Option<usize>,
 }
 
 impl ReptileConfig {
@@ -38,6 +42,7 @@ impl ReptileConfig {
             inner_steps: 5,
             rounds: 20,
             eval_alpha: 0.01,
+            threads: None,
         }
     }
 
@@ -55,6 +60,19 @@ impl ReptileConfig {
     /// Sets the number of communication rounds.
     pub fn with_rounds(mut self, rounds: usize) -> Self {
         self.rounds = rounds;
+        self
+    }
+
+    /// Sets the number of worker threads used to fan local node updates
+    /// out across OS threads. Seeded runs are bitwise identical at any
+    /// thread count (see [`crate::parallel`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be at least 1");
+        self.threads = Some(threads);
         self
     }
 }
@@ -112,19 +130,20 @@ impl Reptile {
             .collect();
         let mut theta = theta0.to_vec();
         let mut history = Vec::new();
+        let threads = cfg
+            .threads
+            .unwrap_or_else(|| crate::parallel::default_threads(tasks.len()));
 
         for round in 1..=cfg.rounds {
-            let adapted: Vec<Vec<f64>> = full
-                .iter()
-                .map(|batch| {
+            let adapted: Vec<Vec<f64>> =
+                crate::parallel::map_ordered(threads, &full, |_, batch| {
                     let mut phi = theta.clone();
                     for _ in 0..cfg.inner_steps {
                         let g = model.grad(&phi, batch);
                         fml_linalg::vector::axpy(-cfg.inner_lr, &g, &mut phi);
                     }
                     phi
-                })
-                .collect();
+                });
             let mean_phi = aggregate(tasks, &adapted);
             // θ ← θ + ε(φ̄ − θ)
             for (t, m) in theta.iter_mut().zip(&mean_phi) {

@@ -176,30 +176,51 @@ impl Matrix {
 
     /// Matrix–vector product `A·x`.
     ///
+    /// Thin allocating wrapper over [`Matrix::matvec_into`].
+    ///
     /// # Panics
     ///
     /// Panics when `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
         let mut y = vec![0.0; self.rows];
-        for (yi, row) in y.iter_mut().zip(self.iter_rows()) {
-            *yi = crate::vector::dot(row, x);
-        }
+        self.matvec_into(x, &mut y);
         y
     }
 
+    /// Matrix–vector product `y ← A·x` into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != cols` or `y.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
+        assert_eq!(y.len(), self.rows, "matvec_into: output length mismatch");
+        crate::vector::matvec_into(&self.data, x, y);
+    }
+
     /// Transposed matrix–vector product `Aᵀ·x`.
+    ///
+    /// Thin allocating wrapper over [`Matrix::matvec_t_into`].
     ///
     /// # Panics
     ///
     /// Panics when `x.len() != rows`.
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "matvec_t: length mismatch");
         let mut y = vec![0.0; self.cols];
-        for (row, &xi) in self.iter_rows().zip(x) {
-            crate::vector::axpy(xi, row, &mut y);
-        }
+        self.matvec_t_into(x, &mut y);
         y
+    }
+
+    /// Transposed matrix–vector product `y ← Aᵀ·x` into a caller-provided
+    /// buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != rows` or `y.len() != cols`.
+    pub fn matvec_t_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "matvec_t: length mismatch");
+        assert_eq!(y.len(), self.cols, "matvec_t_into: output length mismatch");
+        crate::vector::matvec_t_into(&self.data, x, y);
     }
 
     /// Matrix product `A·B`.

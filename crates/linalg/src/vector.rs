@@ -63,6 +63,62 @@ pub fn scale(a: f64, x: &[f64]) -> Vec<f64> {
     x.iter().map(|v| a * v).collect()
 }
 
+/// Writes `a·x` into `out` without allocating.
+///
+/// # Panics
+///
+/// Panics if `x.len() != out.len()`.
+#[inline]
+pub fn scale_into(a: f64, x: &[f64], out: &mut [f64]) {
+    assert_eq!(x.len(), out.len(), "scale_into: length mismatch");
+    for (o, xi) in out.iter_mut().zip(x) {
+        *o = a * xi;
+    }
+}
+
+/// Matrix–vector product `y ← A·x` on a flat row-major buffer, without
+/// allocating. The shape is inferred from the vectors: `A` is
+/// `y.len() × x.len()`.
+///
+/// Each `y[i]` is the dot product of row `i` with `x`, in the same
+/// summation order as [`dot`], so the result is bitwise identical to the
+/// allocating [`crate::Matrix::matvec`].
+///
+/// # Panics
+///
+/// Panics if `a.len() != y.len() * x.len()`.
+#[inline]
+pub fn matvec_into(a: &[f64], x: &[f64], y: &mut [f64]) {
+    assert_eq!(a.len(), y.len() * x.len(), "matvec_into: shape mismatch");
+    if x.is_empty() {
+        y.fill(0.0);
+        return;
+    }
+    for (yi, row) in y.iter_mut().zip(a.chunks_exact(x.len())) {
+        *yi = dot(row, x);
+    }
+}
+
+/// Transposed matrix–vector product `y ← Aᵀ·x` on a flat row-major
+/// buffer, without allocating. The shape is inferred from the vectors:
+/// `A` is `x.len() × y.len()`.
+///
+/// `y` is zeroed and then accumulated one row at a time via [`axpy`], in
+/// the same order as the allocating [`crate::Matrix::matvec_t`], so the
+/// result is bitwise identical.
+///
+/// # Panics
+///
+/// Panics if `a.len() != x.len() * y.len()`.
+#[inline]
+pub fn matvec_t_into(a: &[f64], x: &[f64], y: &mut [f64]) {
+    assert_eq!(a.len(), x.len() * y.len(), "matvec_t_into: shape mismatch");
+    y.fill(0.0);
+    for (row, &xi) in a.chunks_exact(y.len().max(1)).zip(x) {
+        axpy(xi, row, y);
+    }
+}
+
 /// In-place `x ← a·x`.
 #[inline]
 pub fn scale_in_place(a: f64, x: &mut [f64]) {
@@ -262,6 +318,41 @@ mod tests {
         assert_eq!(norm2_sq(&[3.0, 4.0]), 25.0);
         assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
         assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn scale_into_matches_scale() {
+        let x = vec![1.0, -2.0, 0.5];
+        let mut out = vec![9.0; 3];
+        scale_into(-3.0, &x, &mut out);
+        assert_eq!(out, scale(-3.0, &x));
+    }
+
+    #[test]
+    fn matvec_into_matches_rowwise_dots() {
+        // A = [[1,2],[3,4],[5,6]] (3×2), x = [1,−1].
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x = [1.0, -1.0];
+        let mut y = [0.0; 3];
+        matvec_into(&a, &x, &mut y);
+        assert_eq!(y, [-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn matvec_t_into_matches_columnwise_dots() {
+        // Same A, x = [1,1,1] ⇒ Aᵀx = column sums.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x = [1.0, 1.0, 1.0];
+        let mut y = [9.0; 2];
+        matvec_t_into(&a, &x, &mut y);
+        assert_eq!(y, [9.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec_into: shape mismatch")]
+    fn matvec_into_rejects_bad_shape() {
+        let mut y = [0.0; 2];
+        matvec_into(&[1.0, 2.0, 3.0], &[1.0, 2.0], &mut y);
     }
 
     #[test]

@@ -54,6 +54,7 @@ mod quadratic;
 mod scaler;
 mod softmax_reg;
 mod traits;
+mod workspace;
 
 pub use batch::{Batch, Target};
 pub use error::ModelError;
@@ -64,6 +65,7 @@ pub use quadratic::Quadratic;
 pub use scaler::Standardizer;
 pub use softmax_reg::SoftmaxRegression;
 pub use traits::{Model, Prediction};
+pub use workspace::Workspace;
 
 /// Convenience result alias for model-construction errors.
 pub type Result<T> = std::result::Result<T, ModelError>;

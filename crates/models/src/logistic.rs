@@ -1,7 +1,7 @@
 use fml_linalg::{softmax::sigmoid, vector};
 use rand::{Rng, RngCore};
 
-use crate::{Batch, Model, Prediction, Target};
+use crate::{Batch, Model, Prediction, Target, Workspace};
 
 /// Binary logistic regression with cross-entropy loss and L2 weight decay.
 ///
@@ -89,34 +89,57 @@ impl Model for LogisticRegression {
 
     fn grad(&self, params: &[f64], batch: &Batch) -> Vec<f64> {
         let mut g = vec![0.0; self.param_len()];
+        self.grad_into(params, batch, &mut Workspace::empty(), &mut g);
+        g
+    }
+
+    fn hvp(&self, params: &[f64], batch: &Batch, v: &[f64]) -> Vec<f64> {
+        let mut hv = vec![0.0; self.param_len()];
+        self.hvp_into(params, batch, v, &mut Workspace::empty(), &mut hv);
+        hv
+    }
+
+    fn grad_into(&self, params: &[f64], batch: &Batch, ws: &mut Workspace, out: &mut [f64]) {
+        // Logistic regression needs no per-sample scratch; the workspace
+        // contract here is only "write into the caller's buffer".
+        let _ = ws;
+        assert_eq!(out.len(), self.param_len(), "grad_into: bad output length");
+        out.fill(0.0);
         if !batch.is_empty() {
             let inv_n = 1.0 / batch.len() as f64;
             for (x, y) in batch.iter() {
                 let p = sigmoid(self.logit(params, x));
                 let r = p - Self::label01(y);
-                vector::axpy(r * inv_n, x, &mut g[..self.dim]);
-                g[self.dim] += r * inv_n;
+                vector::axpy(r * inv_n, x, &mut out[..self.dim]);
+                out[self.dim] += r * inv_n;
             }
         }
-        vector::axpy(self.l2, &params[..self.dim], &mut g[..self.dim]);
-        g
+        vector::axpy(self.l2, &params[..self.dim], &mut out[..self.dim]);
     }
 
-    fn hvp(&self, params: &[f64], batch: &Batch, v: &[f64]) -> Vec<f64> {
+    fn hvp_into(
+        &self,
+        params: &[f64],
+        batch: &Batch,
+        v: &[f64],
+        ws: &mut Workspace,
+        out: &mut [f64],
+    ) {
         // Hessian = (1/n) Σ p(1−p)·x̃x̃ᵀ + λ·diag(1,…,1,0).
-        let mut hv = vec![0.0; self.param_len()];
+        let _ = ws;
+        assert_eq!(out.len(), self.param_len(), "hvp_into: bad output length");
+        out.fill(0.0);
         if !batch.is_empty() {
             let inv_n = 1.0 / batch.len() as f64;
             for (x, _) in batch.iter() {
                 let p = sigmoid(self.logit(params, x));
                 let w = p * (1.0 - p);
                 let s = vector::dot(&v[..self.dim], x) + v[self.dim];
-                vector::axpy(w * s * inv_n, x, &mut hv[..self.dim]);
-                hv[self.dim] += w * s * inv_n;
+                vector::axpy(w * s * inv_n, x, &mut out[..self.dim]);
+                out[self.dim] += w * s * inv_n;
             }
         }
-        vector::axpy(self.l2, &v[..self.dim], &mut hv[..self.dim]);
-        hv
+        vector::axpy(self.l2, &v[..self.dim], &mut out[..self.dim]);
     }
 
     fn sample_loss(&self, params: &[f64], x: &[f64], y: Target) -> f64 {
@@ -218,6 +241,22 @@ mod tests {
     fn rejects_multiclass_labels() {
         let model = LogisticRegression::new(1);
         model.sample_loss(&[0.0, 0.0], &[1.0], Target::Class(2));
+    }
+
+    #[test]
+    fn into_kernels_bitwise_match_allocating_entry_points() {
+        let model = LogisticRegression::new(2).with_l2(0.05);
+        let batch = toy_batch();
+        let p = [0.2, -0.4, 0.1];
+        let v = [1.0, -0.5, 0.3];
+        let mut ws = Model::workspace(&model);
+        let mut g = vec![0.0; model.param_len()];
+        let mut hv = vec![0.0; model.param_len()];
+        model.grad_into(&p, &batch, &mut ws, &mut g);
+        model.hvp_into(&p, &batch, &v, &mut ws, &mut hv);
+        assert_eq!(g, model.grad(&p, &batch));
+        assert_eq!(hv, model.hvp(&p, &batch, &v));
+        assert_eq!(model.loss_with(&p, &batch, &mut ws), model.loss(&p, &batch));
     }
 
     proptest! {

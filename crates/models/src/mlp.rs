@@ -1,7 +1,8 @@
 use fml_linalg::{softmax, vector};
 use rand::{Rng, RngCore};
 
-use crate::{Batch, Model, ModelError, Prediction, Result, Target};
+use crate::workspace::Span;
+use crate::{Batch, Model, ModelError, Prediction, Result, Target, Workspace};
 
 /// Hidden-layer activation function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,12 +177,6 @@ impl MlpBuilder {
     }
 }
 
-/// Per-layer view into the flat parameter vector.
-struct LayerOffsets {
-    /// `(w_start, w_end, b_start, b_end)` per layer.
-    spans: Vec<(usize, usize, usize, usize)>,
-}
-
 impl Mlp {
     /// Number of layers (weight matrices).
     pub fn layer_count(&self) -> usize {
@@ -198,7 +193,10 @@ impl Mlp {
         self.activation
     }
 
-    fn offsets(&self) -> LayerOffsets {
+    /// Per-layer `(w_start, w_end, b_start, b_end)` spans into the flat
+    /// parameter vector. The workspace caches these; the allocating
+    /// reference paths rebuild them per call.
+    fn offsets(&self) -> Vec<Span> {
         let mut spans = Vec::with_capacity(self.layer_count());
         let mut cursor = 0;
         for l in 0..self.layer_count() {
@@ -210,48 +208,55 @@ impl Mlp {
             cursor = b_end;
             spans.push((w_start, w_end, b_start, b_end));
         }
-        LayerOffsets { spans }
+        spans
     }
 
     /// `W_l·v + b_l` for layer `l`, reading from an arbitrary flat buffer
     /// (either parameters or an HVP direction).
-    fn affine(&self, buf: &[f64], l: usize, off: &LayerOffsets, v: &[f64]) -> Vec<f64> {
-        let (fan_in, fan_out) = (self.dims[l], self.dims[l + 1]);
-        let (ws, _, bs, _) = off.spans[l];
-        let mut out = vec![0.0; fan_out];
-        for (j, o) in out.iter_mut().enumerate() {
-            let row = &buf[ws + j * fan_in..ws + (j + 1) * fan_in];
-            *o = vector::dot(row, v) + buf[bs + j];
-        }
+    fn affine(&self, buf: &[f64], l: usize, spans: &[Span], v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.dims[l + 1]];
+        self.affine_into(buf, l, spans, v, &mut out);
         out
+    }
+
+    /// `W_l·v + b_l` into a caller-provided buffer.
+    fn affine_into(&self, buf: &[f64], l: usize, spans: &[Span], v: &[f64], out: &mut [f64]) {
+        let fan_in = self.dims[l];
+        let (w0, _, b0, _) = spans[l];
+        for (j, o) in out.iter_mut().enumerate() {
+            let row = &buf[w0 + j * fan_in..w0 + (j + 1) * fan_in];
+            *o = vector::dot(row, v) + buf[b0 + j];
+        }
     }
 
     /// `W_lᵀ·d` for layer `l` from an arbitrary flat buffer.
-    fn affine_t(&self, buf: &[f64], l: usize, off: &LayerOffsets, d: &[f64]) -> Vec<f64> {
-        let (fan_in, _) = (self.dims[l], self.dims[l + 1]);
-        let (ws, _, _, _) = off.spans[l];
-        let mut out = vec![0.0; fan_in];
-        for (j, &dj) in d.iter().enumerate() {
-            let row = &buf[ws + j * fan_in..ws + (j + 1) * fan_in];
-            vector::axpy(dj, row, &mut out);
-        }
+    fn affine_t(&self, buf: &[f64], l: usize, spans: &[Span], d: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.dims[l]];
+        self.affine_t_into(buf, l, spans, d, &mut out);
         out
     }
 
-    /// Forward pass; returns `(pre_activations, activations)` where
-    /// `activations[0]` is the input and the last pre-activation holds the
-    /// logits.
-    fn forward(
-        &self,
-        params: &[f64],
-        off: &LayerOffsets,
-        x: &[f64],
-    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    /// `W_lᵀ·d` into a caller-provided buffer (zeroed first, then
+    /// accumulated row by row, matching the allocating path bit for bit).
+    fn affine_t_into(&self, buf: &[f64], l: usize, spans: &[Span], d: &[f64], out: &mut [f64]) {
+        let fan_in = self.dims[l];
+        let (w0, _, _, _) = spans[l];
+        out.fill(0.0);
+        for (j, &dj) in d.iter().enumerate() {
+            let row = &buf[w0 + j * fan_in..w0 + (j + 1) * fan_in];
+            vector::axpy(dj, row, out);
+        }
+    }
+
+    /// Allocating forward pass; returns `(pre_activations, activations)`
+    /// where `activations[0]` is the input and the last pre-activation
+    /// holds the logits. Reference path for the benches/equality tests.
+    fn forward(&self, params: &[f64], spans: &[Span], x: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
         let mut zs = Vec::with_capacity(self.layer_count());
         let mut acts = Vec::with_capacity(self.layer_count() + 1);
         acts.push(x.to_vec());
         for l in 0..self.layer_count() {
-            let z = self.affine(params, l, off, acts.last().expect("acts nonempty"));
+            let z = self.affine(params, l, spans, acts.last().expect("acts nonempty"));
             if l + 1 < self.layer_count() {
                 acts.push(z.iter().map(|&v| self.activation.apply(v)).collect());
             }
@@ -260,33 +265,49 @@ impl Mlp {
         (zs, acts)
     }
 
+    /// Forward pass into the workspace: fills `ws.acts` and `ws.zs`
+    /// without allocating.
+    fn forward_ws(&self, params: &[f64], ws: &mut Workspace, x: &[f64]) {
+        let lcount = self.layer_count();
+        ws.acts[0].copy_from_slice(x);
+        for l in 0..lcount {
+            let (acts_done, acts_todo) = ws.acts.split_at_mut(l + 1);
+            self.affine_into(params, l, &ws.spans, &acts_done[l], &mut ws.zs[l]);
+            if l + 1 < lcount {
+                for (a, &z) in acts_todo[0].iter_mut().zip(ws.zs[l].iter()) {
+                    *a = self.activation.apply(z);
+                }
+            }
+        }
+    }
+
     /// Accumulates one sample's parameter gradient into `g`; returns the
-    /// input-space delta for `input_grad`.
+    /// input-space delta for `input_grad`. Allocating reference path.
     fn backward_sample(
         &self,
         params: &[f64],
-        off: &LayerOffsets,
+        spans: &[Span],
         x: &[f64],
         label: usize,
         weight: f64,
         g: &mut [f64],
     ) -> Vec<f64> {
-        let (zs, acts) = self.forward(params, off, x);
+        let (zs, acts) = self.forward(params, spans, x);
         let logits = zs.last().expect("at least one layer");
         let mut delta = softmax::cross_entropy_logits_grad(logits, label);
         for l in (0..self.layer_count()).rev() {
-            let (ws, _, bs, _) = off.spans[l];
+            let (w0, _, b0, _) = spans[l];
             let fan_in = self.dims[l];
             let a_prev = &acts[l];
             for (j, &dj) in delta.iter().enumerate() {
                 vector::axpy(
                     weight * dj,
                     a_prev,
-                    &mut g[ws + j * fan_in..ws + (j + 1) * fan_in],
+                    &mut g[w0 + j * fan_in..w0 + (j + 1) * fan_in],
                 );
-                g[bs + j] += weight * dj;
+                g[b0 + j] += weight * dj;
             }
-            let pre = self.affine_t(params, l, off, &delta);
+            let pre = self.affine_t(params, l, spans, &delta);
             if l == 0 {
                 return pre;
             }
@@ -299,6 +320,49 @@ impl Mlp {
         unreachable!("layer_count >= 1")
     }
 
+    /// Zero-allocation [`Mlp::backward_sample`]: same arithmetic in the
+    /// same order, but every intermediate lives in `ws`. The input-space
+    /// delta is left in `ws.pre[..input_dim]`.
+    fn backward_sample_ws(
+        &self,
+        params: &[f64],
+        ws: &mut Workspace,
+        x: &[f64],
+        label: usize,
+        weight: f64,
+        g: &mut [f64],
+    ) {
+        self.forward_ws(params, ws, x);
+        let lcount = self.layer_count();
+        ws.probs.copy_from_slice(&ws.zs[lcount - 1]);
+        softmax::softmax_in_place(&mut ws.probs);
+        ws.delta[lcount - 1].copy_from_slice(&ws.probs);
+        ws.delta[lcount - 1][label] -= 1.0;
+        for l in (0..lcount).rev() {
+            let (w0, _, b0, _) = ws.spans[l];
+            let fan_in = self.dims[l];
+            {
+                let a_prev = &ws.acts[l];
+                for (j, &dj) in ws.delta[l].iter().enumerate() {
+                    vector::axpy(
+                        weight * dj,
+                        a_prev,
+                        &mut g[w0 + j * fan_in..w0 + (j + 1) * fan_in],
+                    );
+                    g[b0 + j] += weight * dj;
+                }
+            }
+            self.affine_t_into(params, l, &ws.spans, &ws.delta[l], &mut ws.pre[..fan_in]);
+            if l == 0 {
+                return;
+            }
+            let (delta_lo, _) = ws.delta.split_at_mut(l);
+            for (i, d) in delta_lo[l - 1].iter_mut().enumerate() {
+                *d = ws.pre[i] * self.activation.d1(ws.zs[l - 1][i]);
+            }
+        }
+    }
+
     fn check_label(&self, y: Target) -> usize {
         let c = y.expect_class();
         assert!(
@@ -309,14 +373,77 @@ impl Mlp {
         c
     }
 
-    fn add_l2_grad(&self, params: &[f64], off: &LayerOffsets, g: &mut [f64]) {
+    fn add_l2_grad(&self, params: &[f64], spans: &[Span], g: &mut [f64]) {
         if self.l2 == 0.0 {
             return;
         }
-        for &(ws, we, _, _) in &off.spans {
-            let (src, dst) = (&params[ws..we], &mut g[ws..we]);
+        for &(w0, w1, _, _) in spans {
+            let (src, dst) = (&params[w0..w1], &mut g[w0..w1]);
             vector::axpy(self.l2, src, dst);
         }
+    }
+
+    /// The pre-workspace allocating batch gradient, kept verbatim as the
+    /// before/after baseline for the Criterion benches and the bitwise
+    /// equality tests. [`Model::grad`] now routes through
+    /// [`Model::grad_into`] instead.
+    #[doc(hidden)]
+    pub fn grad_alloc(&self, params: &[f64], batch: &Batch) -> Vec<f64> {
+        let spans = self.offsets();
+        let mut g = vec![0.0; self.param_len()];
+        if !batch.is_empty() {
+            let inv_n = 1.0 / batch.len() as f64;
+            for (x, y) in batch.iter() {
+                self.backward_sample(params, &spans, x, self.check_label(y), inv_n, &mut g);
+            }
+        }
+        self.add_l2_grad(params, &spans, &mut g);
+        g
+    }
+
+    /// The pre-workspace allocating HVP baseline (see
+    /// [`Mlp::grad_alloc`]).
+    #[doc(hidden)]
+    pub fn hvp_alloc(&self, params: &[f64], batch: &Batch, v: &[f64]) -> Vec<f64> {
+        let spans = self.offsets();
+        let mut hv = vec![0.0; self.param_len()];
+        if !batch.is_empty() {
+            let inv_n = 1.0 / batch.len() as f64;
+            for (x, y) in batch.iter() {
+                self.r_op_sample(params, &spans, x, self.check_label(y), v, inv_n, &mut hv);
+            }
+        }
+        // L2 contributes λ·v on weight coordinates.
+        if self.l2 > 0.0 {
+            for &(w0, w1, _, _) in &spans {
+                let (src, dst) = (&v[w0..w1], &mut hv[w0..w1]);
+                vector::axpy(self.l2, src, dst);
+            }
+        }
+        hv
+    }
+
+    /// The pre-workspace allocating loss baseline (see
+    /// [`Mlp::grad_alloc`]).
+    #[doc(hidden)]
+    pub fn loss_alloc(&self, params: &[f64], batch: &Batch) -> f64 {
+        let spans = self.offsets();
+        let mut reg = 0.0;
+        if self.l2 > 0.0 {
+            for &(w0, w1, _, _) in &spans {
+                reg += vector::norm2_sq(&params[w0..w1]);
+            }
+            reg *= 0.5 * self.l2;
+        }
+        if batch.is_empty() {
+            return reg;
+        }
+        let mut total = 0.0;
+        for (x, y) in batch.iter() {
+            let (zs, _) = self.forward(params, &spans, x);
+            total += softmax::cross_entropy_logits(zs.last().expect("layers"), self.check_label(y));
+        }
+        total / batch.len() as f64 + reg
     }
 }
 
@@ -332,12 +459,12 @@ impl Model for Mlp {
     }
 
     fn init_params(&self, rng: &mut dyn RngCore) -> Vec<f64> {
-        let off = self.offsets();
+        let spans = self.offsets();
         let mut p = vec![0.0; self.param_len()];
-        for (l, &(ws, we, _, _)) in off.spans.iter().enumerate() {
+        for (l, &(w0, w1, _, _)) in spans.iter().enumerate() {
             // Xavier/Glorot uniform: U(−√(6/(fan_in+fan_out)), +…).
             let bound = (6.0 / (self.dims[l] + self.dims[l + 1]) as f64).sqrt();
-            for v in &mut p[ws..we] {
+            for v in &mut p[w0..w1] {
                 *v = rng.gen_range(-bound..bound);
             }
             // Biases start at zero.
@@ -346,72 +473,109 @@ impl Model for Mlp {
     }
 
     fn loss(&self, params: &[f64], batch: &Batch) -> f64 {
-        let off = self.offsets();
+        let mut ws = Model::workspace(self);
+        self.loss_with(params, batch, &mut ws)
+    }
+
+    fn grad(&self, params: &[f64], batch: &Batch) -> Vec<f64> {
+        let mut ws = Model::workspace(self);
+        let mut g = vec![0.0; self.param_len()];
+        self.grad_into(params, batch, &mut ws, &mut g);
+        g
+    }
+
+    fn hvp(&self, params: &[f64], batch: &Batch, v: &[f64]) -> Vec<f64> {
+        let mut ws = Model::workspace(self);
+        let mut hv = vec![0.0; self.param_len()];
+        self.hvp_into(params, batch, v, &mut ws, &mut hv);
+        hv
+    }
+
+    fn workspace(&self) -> Workspace {
+        Workspace::new(&self.dims)
+    }
+
+    fn loss_with(&self, params: &[f64], batch: &Batch, ws: &mut Workspace) -> f64 {
+        ws.check(&self.dims);
         let mut reg = 0.0;
         if self.l2 > 0.0 {
-            for &(ws, we, _, _) in &off.spans {
-                reg += vector::norm2_sq(&params[ws..we]);
+            for &(w0, w1, _, _) in &ws.spans {
+                reg += vector::norm2_sq(&params[w0..w1]);
             }
             reg *= 0.5 * self.l2;
         }
         if batch.is_empty() {
             return reg;
         }
+        let lcount = self.layer_count();
         let mut total = 0.0;
         for (x, y) in batch.iter() {
-            let (zs, _) = self.forward(params, &off, x);
-            total += softmax::cross_entropy_logits(zs.last().expect("layers"), self.check_label(y));
+            let label = self.check_label(y);
+            self.forward_ws(params, ws, x);
+            total += softmax::cross_entropy_logits(&ws.zs[lcount - 1], label);
         }
         total / batch.len() as f64 + reg
     }
 
-    fn grad(&self, params: &[f64], batch: &Batch) -> Vec<f64> {
-        let off = self.offsets();
-        let mut g = vec![0.0; self.param_len()];
+    fn grad_into(&self, params: &[f64], batch: &Batch, ws: &mut Workspace, out: &mut [f64]) {
+        ws.check(&self.dims);
+        assert_eq!(out.len(), self.param_len(), "grad_into: bad output length");
+        out.fill(0.0);
         if !batch.is_empty() {
             let inv_n = 1.0 / batch.len() as f64;
             for (x, y) in batch.iter() {
-                self.backward_sample(params, &off, x, self.check_label(y), inv_n, &mut g);
+                let label = self.check_label(y);
+                self.backward_sample_ws(params, ws, x, label, inv_n, out);
             }
         }
-        self.add_l2_grad(params, &off, &mut g);
-        g
+        if self.l2 > 0.0 {
+            for &(w0, w1, _, _) in &ws.spans {
+                vector::axpy(self.l2, &params[w0..w1], &mut out[w0..w1]);
+            }
+        }
     }
 
-    fn hvp(&self, params: &[f64], batch: &Batch, v: &[f64]) -> Vec<f64> {
-        let off = self.offsets();
-        let mut hv = vec![0.0; self.param_len()];
+    fn hvp_into(
+        &self,
+        params: &[f64],
+        batch: &Batch,
+        v: &[f64],
+        ws: &mut Workspace,
+        out: &mut [f64],
+    ) {
+        ws.check(&self.dims);
+        assert_eq!(out.len(), self.param_len(), "hvp_into: bad output length");
+        out.fill(0.0);
         if !batch.is_empty() {
             let inv_n = 1.0 / batch.len() as f64;
             for (x, y) in batch.iter() {
-                self.r_op_sample(params, &off, x, self.check_label(y), v, inv_n, &mut hv);
+                let label = self.check_label(y);
+                self.r_op_sample_ws(params, ws, x, label, v, inv_n, out);
             }
         }
         // L2 contributes λ·v on weight coordinates.
         if self.l2 > 0.0 {
-            for &(ws, we, _, _) in &off.spans {
-                let (src, dst) = (&v[ws..we], &mut hv[ws..we]);
-                vector::axpy(self.l2, src, dst);
+            for &(w0, w1, _, _) in &ws.spans {
+                vector::axpy(self.l2, &v[w0..w1], &mut out[w0..w1]);
             }
         }
-        hv
     }
 
     fn sample_loss(&self, params: &[f64], x: &[f64], y: Target) -> f64 {
-        let off = self.offsets();
-        let (zs, _) = self.forward(params, &off, x);
+        let spans = self.offsets();
+        let (zs, _) = self.forward(params, &spans, x);
         softmax::cross_entropy_logits(zs.last().expect("layers"), self.check_label(y))
     }
 
     fn input_grad(&self, params: &[f64], x: &[f64], y: Target) -> Vec<f64> {
-        let off = self.offsets();
+        let spans = self.offsets();
         let mut scratch = vec![0.0; self.param_len()];
-        self.backward_sample(params, &off, x, self.check_label(y), 1.0, &mut scratch)
+        self.backward_sample(params, &spans, x, self.check_label(y), 1.0, &mut scratch)
     }
 
     fn predict(&self, params: &[f64], x: &[f64]) -> Prediction {
-        let off = self.offsets();
-        let (zs, _) = self.forward(params, &off, x);
+        let spans = self.offsets();
+        let (zs, _) = self.forward(params, &spans, x);
         let probs = softmax::softmax(zs.last().expect("layers"));
         let label = vector::argmax(&probs).unwrap_or(0);
         Prediction::Class { label, probs }
@@ -425,7 +589,7 @@ impl Mlp {
     fn r_op_sample(
         &self,
         params: &[f64],
-        off: &LayerOffsets,
+        spans: &[Span],
         x: &[f64],
         label: usize,
         v: &[f64],
@@ -434,18 +598,18 @@ impl Mlp {
     ) {
         let lcount = self.layer_count();
         // --- forward + R-forward ---
-        let (zs, acts) = self.forward(params, off, x);
+        let (zs, acts) = self.forward(params, spans, x);
         let mut r_acts: Vec<Vec<f64>> = Vec::with_capacity(lcount + 1);
         r_acts.push(vec![0.0; x.len()]); // R{input} = 0
         let mut r_zs: Vec<Vec<f64>> = Vec::with_capacity(lcount);
         for l in 0..lcount {
             // R{z_l} = V_l a_{l−1} + c_l + W_l R{a_{l−1}}
-            let mut rz = self.affine(v, l, off, &acts[l]);
+            let mut rz = self.affine(v, l, spans, &acts[l]);
             let wr = {
                 // W_l · R{a_{l−1}} without bias: compute affine minus bias.
-                let mut t = self.affine(params, l, off, &r_acts[l]);
-                let (_, _, bs, be) = off.spans[l];
-                for (tj, bj) in t.iter_mut().zip(&params[bs..be]) {
+                let mut t = self.affine(params, l, spans, &r_acts[l]);
+                let (_, _, b0, b1) = spans[l];
+                for (tj, bj) in t.iter_mut().zip(&params[b0..b1]) {
                     *tj -= bj;
                 }
                 t
@@ -476,24 +640,24 @@ impl Mlp {
             .collect();
         // --- backward + R-backward ---
         for l in (0..lcount).rev() {
-            let (ws, _, bs, _) = off.spans[l];
+            let (w0, _, b0, _) = spans[l];
             let fan_in = self.dims[l];
             let a_prev = &acts[l];
             let ra_prev = &r_acts[l];
             for j in 0..delta.len() {
                 // R{dW_l} = R{δ}·aᵀ + δ·R{a}ᵀ
-                let row = &mut hv[ws + j * fan_in..ws + (j + 1) * fan_in];
+                let row = &mut hv[w0 + j * fan_in..w0 + (j + 1) * fan_in];
                 vector::axpy(weight * r_delta[j], a_prev, row);
                 vector::axpy(weight * delta[j], ra_prev, row);
-                hv[bs + j] += weight * r_delta[j];
+                hv[b0 + j] += weight * r_delta[j];
             }
             if l == 0 {
                 break;
             }
             // pre = W_lᵀ δ;  R{pre} = V_lᵀ δ + W_lᵀ R{δ}
-            let pre = self.affine_t(params, l, off, &delta);
-            let mut r_pre = self.affine_t(v, l, off, &delta);
-            let w_rdelta = self.affine_t(params, l, off, &r_delta);
+            let pre = self.affine_t(params, l, spans, &delta);
+            let mut r_pre = self.affine_t(v, l, spans, &delta);
+            let w_rdelta = self.affine_t(params, l, spans, &r_delta);
             vector::axpy(1.0, &w_rdelta, &mut r_pre);
             // δ_{l−1} = act'(z)∘pre
             // R{δ_{l−1}} = act''(z)∘R{z}∘pre + act'(z)∘R{pre}
@@ -511,6 +675,96 @@ impl Mlp {
             r_delta = new_r_delta;
         }
     }
+
+    /// Zero-allocation [`Mlp::r_op_sample`]: identical arithmetic in the
+    /// same order, every intermediate hosted by the workspace.
+    #[allow(clippy::too_many_arguments)]
+    fn r_op_sample_ws(
+        &self,
+        params: &[f64],
+        ws: &mut Workspace,
+        x: &[f64],
+        label: usize,
+        v: &[f64],
+        weight: f64,
+        hv: &mut [f64],
+    ) {
+        let lcount = self.layer_count();
+        // --- forward + R-forward ---
+        self.forward_ws(params, ws, x);
+        ws.r_acts[0].fill(0.0); // R{input} = 0
+        for l in 0..lcount {
+            let fan_out = self.dims[l + 1];
+            let (racts_done, racts_todo) = ws.r_acts.split_at_mut(l + 1);
+            // R{z_l} = V_l a_{l−1} + c_l + W_l R{a_{l−1}}
+            self.affine_into(v, l, &ws.spans, &ws.acts[l], &mut ws.r_zs[l]);
+            // W_l · R{a_{l−1}} without bias: affine minus bias, exactly as
+            // the allocating path computes it — (d + b) − b is not d in
+            // floating point, so the subtraction must stay.
+            self.affine_into(params, l, &ws.spans, &racts_done[l], &mut ws.tmp[..fan_out]);
+            let (_, _, b0, b1) = ws.spans[l];
+            for (tj, bj) in ws.tmp[..fan_out].iter_mut().zip(&params[b0..b1]) {
+                *tj -= bj;
+            }
+            vector::axpy(1.0, &ws.tmp[..fan_out], &mut ws.r_zs[l]);
+            if l + 1 < lcount {
+                for (ra, (&r, &z)) in racts_todo[0]
+                    .iter_mut()
+                    .zip(ws.r_zs[l].iter().zip(ws.zs[l].iter()))
+                {
+                    *ra = self.activation.d1(z) * r;
+                }
+            }
+        }
+        // --- output deltas ---
+        ws.probs.copy_from_slice(&ws.zs[lcount - 1]);
+        softmax::softmax_in_place(&mut ws.probs);
+        ws.delta[lcount - 1].copy_from_slice(&ws.probs);
+        ws.delta[lcount - 1][label] -= 1.0;
+        // R{δ_L} = (diag(p) − ppᵀ)·R{z_L}
+        let ps = vector::dot(&ws.probs, &ws.r_zs[lcount - 1]);
+        {
+            let (rd_lo, rd_hi) = ws.r_delta.split_at_mut(lcount - 1);
+            let _ = rd_lo;
+            for (k, r) in rd_hi[0].iter_mut().enumerate() {
+                *r = ws.probs[k] * (ws.r_zs[lcount - 1][k] - ps);
+            }
+        }
+        // --- backward + R-backward ---
+        for l in (0..lcount).rev() {
+            let (w0, _, b0, _) = ws.spans[l];
+            let fan_in = self.dims[l];
+            {
+                let a_prev = &ws.acts[l];
+                let ra_prev = &ws.r_acts[l];
+                for j in 0..ws.delta[l].len() {
+                    // R{dW_l} = R{δ}·aᵀ + δ·R{a}ᵀ
+                    let row = &mut hv[w0 + j * fan_in..w0 + (j + 1) * fan_in];
+                    vector::axpy(weight * ws.r_delta[l][j], a_prev, row);
+                    vector::axpy(weight * ws.delta[l][j], ra_prev, row);
+                    hv[b0 + j] += weight * ws.r_delta[l][j];
+                }
+            }
+            if l == 0 {
+                break;
+            }
+            // pre = W_lᵀ δ;  R{pre} = V_lᵀ δ + W_lᵀ R{δ}
+            self.affine_t_into(params, l, &ws.spans, &ws.delta[l], &mut ws.pre[..fan_in]);
+            self.affine_t_into(v, l, &ws.spans, &ws.delta[l], &mut ws.r_pre[..fan_in]);
+            self.affine_t_into(params, l, &ws.spans, &ws.r_delta[l], &mut ws.tmp[..fan_in]);
+            vector::axpy(1.0, &ws.tmp[..fan_in], &mut ws.r_pre[..fan_in]);
+            // δ_{l−1} = act'(z)∘pre
+            // R{δ_{l−1}} = act''(z)∘R{z}∘pre + act'(z)∘R{pre}
+            let (delta_lo, _) = ws.delta.split_at_mut(l);
+            let (r_delta_lo, _) = ws.r_delta.split_at_mut(l);
+            for i in 0..fan_in {
+                let d1 = self.activation.d1(ws.zs[l - 1][i]);
+                let d2 = self.activation.d2(ws.zs[l - 1][i]);
+                delta_lo[l - 1][i] = d1 * ws.pre[i];
+                r_delta_lo[l - 1][i] = d2 * ws.r_zs[l - 1][i] * ws.pre[i] + d1 * ws.r_pre[i];
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -518,6 +772,7 @@ mod tests {
     use super::*;
     use crate::check;
     use fml_linalg::Matrix;
+    use proptest::prelude::*;
     use rand::SeedableRng;
 
     fn toy_batch() -> Batch {
@@ -687,11 +942,100 @@ mod tests {
     }
 
     #[test]
+    fn workspace_kernels_bitwise_match_allocating_baseline() {
+        // The workspace changes where scratch lives, not the arithmetic:
+        // grad/hvp/loss must equal the pre-workspace reference *exactly*,
+        // and reusing one workspace across calls must not leak state.
+        for (m, tag) in [
+            (tanh_mlp(), "tanh"),
+            (
+                MlpBuilder::new(3, 3)
+                    .hidden(&[8, 6, 4])
+                    .activation(Activation::Relu)
+                    .build()
+                    .unwrap(),
+                "relu-deep",
+            ),
+            (MlpBuilder::new(3, 2).build().unwrap(), "no-hidden"),
+        ] {
+            let batch = toy_batch2(m.classes());
+            let p = seeded_params(&m, 53);
+            let v: Vec<f64> = (0..m.param_len())
+                .map(|i| ((i * 31 % 13) as f64 - 6.0) / 13.0)
+                .collect();
+            let g_ref = m.grad_alloc(&p, &batch);
+            let hv_ref = m.hvp_alloc(&p, &batch, &v);
+            let l_ref = m.loss_alloc(&p, &batch);
+            // Trait wrappers route through the workspace path.
+            assert_eq!(m.grad(&p, &batch), g_ref, "{tag}: grad wrapper");
+            assert_eq!(m.hvp(&p, &batch, &v), hv_ref, "{tag}: hvp wrapper");
+            assert_eq!(m.loss(&p, &batch), l_ref, "{tag}: loss wrapper");
+            // Explicit workspace reuse: run each kernel twice on one ws.
+            let mut ws = Model::workspace(&m);
+            let mut out = vec![0.0; m.param_len()];
+            for round in 0..2 {
+                m.grad_into(&p, &batch, &mut ws, &mut out);
+                assert_eq!(out, g_ref, "{tag}: grad_into round {round}");
+                m.hvp_into(&p, &batch, &v, &mut ws, &mut out);
+                assert_eq!(out, hv_ref, "{tag}: hvp_into round {round}");
+                assert_eq!(m.loss_with(&p, &batch, &mut ws), l_ref, "{tag}: loss_with");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Workspace shape mismatch")]
+    fn foreign_workspace_is_rejected() {
+        let m = tanh_mlp();
+        let other = MlpBuilder::new(4, 2).hidden(&[3]).build().unwrap();
+        let mut ws = Model::workspace(&other);
+        let mut out = vec![0.0; m.param_len()];
+        let p = seeded_params(&m, 59);
+        m.grad_into(&p, &toy_batch(), &mut ws, &mut out);
+    }
+
+    /// toy_batch with labels clamped to the model's class count.
+    fn toy_batch2(classes: usize) -> Batch {
+        let xs = Matrix::from_rows(&[
+            &[0.5, -0.2, 1.0],
+            &[-0.7, 0.9, 0.1],
+            &[0.2, 0.2, -0.5],
+            &[1.2, -1.0, 0.3],
+        ])
+        .unwrap();
+        let labels: Vec<usize> = [0usize, 1, 2, 1].iter().map(|&c| c % classes).collect();
+        Batch::classification(xs, labels).unwrap()
+    }
+
+    #[test]
     fn biases_initialized_to_zero() {
         let m = MlpBuilder::new(2, 2).hidden(&[3]).build().unwrap();
         let p = seeded_params(&m, 47);
         // Layer 0 biases at offsets 6..9, layer 1 biases at 15..17.
         assert!(p[6..9].iter().all(|&v| v == 0.0));
         assert!(p[15..17].iter().all(|&v| v == 0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_workspace_kernels_equal_allocating_on_random_inputs(
+            seed in 0u64..40,
+            vseed in 0u64..40,
+        ) {
+            // Random parameter points and directions: the workspace path
+            // must reproduce the allocating reference bit for bit.
+            let m = tanh_mlp();
+            let batch = toy_batch();
+            let p = seeded_params(&m, seed);
+            let v = seeded_params(&m, vseed + 1000);
+            let mut ws = Model::workspace(&m);
+            let mut g = vec![0.0; m.param_len()];
+            let mut hv = vec![0.0; m.param_len()];
+            m.grad_into(&p, &batch, &mut ws, &mut g);
+            m.hvp_into(&p, &batch, &v, &mut ws, &mut hv);
+            prop_assert_eq!(g, m.grad_alloc(&p, &batch));
+            prop_assert_eq!(hv, m.hvp_alloc(&p, &batch, &v));
+            prop_assert_eq!(m.loss_with(&p, &batch, &mut ws), m.loss_alloc(&p, &batch));
+        }
     }
 }

@@ -1,7 +1,7 @@
 use fml_linalg::{softmax, vector};
 use rand::{Rng, RngCore};
 
-use crate::{Batch, Model, Prediction, Target};
+use crate::{Batch, Model, Prediction, Target, Workspace};
 
 /// Multinomial logistic (softmax) regression with cross-entropy loss.
 ///
@@ -89,38 +89,26 @@ impl SoftmaxRegression {
     fn weight_len(&self) -> usize {
         self.classes * self.dim
     }
-}
 
-impl Model for SoftmaxRegression {
-    fn param_len(&self) -> usize {
-        self.classes * (self.dim + 1)
+    /// The layer shape a [`Workspace`] for this model is built with.
+    fn ws_dims(&self) -> [usize; 2] {
+        [self.dim.max(1), self.classes]
     }
 
-    fn input_dim(&self) -> usize {
-        self.dim
-    }
-
-    fn init_params(&self, rng: &mut dyn RngCore) -> Vec<f64> {
-        let scale = (1.0 / self.dim.max(1) as f64).sqrt();
-        (0..self.param_len())
-            .map(|_| rng.gen_range(-scale..scale))
-            .collect()
-    }
-
-    fn loss(&self, params: &[f64], batch: &Batch) -> f64 {
-        let reg = 0.5 * self.l2 * vector::norm2_sq(&params[..self.weight_len()]);
-        if batch.is_empty() {
-            return reg;
+    /// [`SoftmaxRegression::logits`] into a caller-provided buffer.
+    fn logits_into(&self, params: &[f64], x: &[f64], z: &mut [f64]) {
+        for (k, zk) in z.iter_mut().enumerate() {
+            let row = &params[k * self.dim..(k + 1) * self.dim];
+            *zk = vector::dot(row, x) + params[self.classes * self.dim + k];
         }
-        let mut total = 0.0;
-        for (x, y) in batch.iter() {
-            let z = self.logits(params, x);
-            total += softmax::cross_entropy_logits(&z, self.check_label(y));
-        }
-        total / batch.len() as f64 + reg
     }
 
-    fn grad(&self, params: &[f64], batch: &Batch) -> Vec<f64> {
+    /// The pre-workspace allocating batch gradient, kept verbatim as the
+    /// before/after baseline for the Criterion benches and the bitwise
+    /// equality tests. [`Model::grad`] now routes through
+    /// [`Model::grad_into`] instead.
+    #[doc(hidden)]
+    pub fn grad_alloc(&self, params: &[f64], batch: &Batch) -> Vec<f64> {
         let mut g = vec![0.0; self.param_len()];
         if !batch.is_empty() {
             let inv_n = 1.0 / batch.len() as f64;
@@ -139,7 +127,10 @@ impl Model for SoftmaxRegression {
         g
     }
 
-    fn hvp(&self, params: &[f64], batch: &Batch, v: &[f64]) -> Vec<f64> {
+    /// The pre-workspace allocating HVP baseline (see
+    /// [`SoftmaxRegression::grad_alloc`]).
+    #[doc(hidden)]
+    pub fn hvp_alloc(&self, params: &[f64], batch: &Batch, v: &[f64]) -> Vec<f64> {
         let mut hv = vec![0.0; self.param_len()];
         if !batch.is_empty() {
             let inv_n = 1.0 / batch.len() as f64;
@@ -163,6 +154,135 @@ impl Model for SoftmaxRegression {
         let wl = self.weight_len();
         vector::axpy(self.l2, &v[..wl], &mut hv[..wl]);
         hv
+    }
+
+    /// The pre-workspace allocating loss baseline (see
+    /// [`SoftmaxRegression::grad_alloc`]).
+    #[doc(hidden)]
+    pub fn loss_alloc(&self, params: &[f64], batch: &Batch) -> f64 {
+        let reg = 0.5 * self.l2 * vector::norm2_sq(&params[..self.weight_len()]);
+        if batch.is_empty() {
+            return reg;
+        }
+        let mut total = 0.0;
+        for (x, y) in batch.iter() {
+            let z = self.logits(params, x);
+            total += softmax::cross_entropy_logits(&z, self.check_label(y));
+        }
+        total / batch.len() as f64 + reg
+    }
+}
+
+impl Model for SoftmaxRegression {
+    fn param_len(&self) -> usize {
+        self.classes * (self.dim + 1)
+    }
+
+    fn input_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn init_params(&self, rng: &mut dyn RngCore) -> Vec<f64> {
+        let scale = (1.0 / self.dim.max(1) as f64).sqrt();
+        (0..self.param_len())
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect()
+    }
+
+    fn loss(&self, params: &[f64], batch: &Batch) -> f64 {
+        let mut ws = Model::workspace(self);
+        self.loss_with(params, batch, &mut ws)
+    }
+
+    fn grad(&self, params: &[f64], batch: &Batch) -> Vec<f64> {
+        let mut ws = Model::workspace(self);
+        let mut g = vec![0.0; self.param_len()];
+        self.grad_into(params, batch, &mut ws, &mut g);
+        g
+    }
+
+    fn hvp(&self, params: &[f64], batch: &Batch, v: &[f64]) -> Vec<f64> {
+        let mut ws = Model::workspace(self);
+        let mut hv = vec![0.0; self.param_len()];
+        self.hvp_into(params, batch, v, &mut ws, &mut hv);
+        hv
+    }
+
+    fn workspace(&self) -> Workspace {
+        Workspace::new(&self.ws_dims())
+    }
+
+    fn loss_with(&self, params: &[f64], batch: &Batch, ws: &mut Workspace) -> f64 {
+        ws.check(&self.ws_dims());
+        let reg = 0.5 * self.l2 * vector::norm2_sq(&params[..self.weight_len()]);
+        if batch.is_empty() {
+            return reg;
+        }
+        let mut total = 0.0;
+        for (x, y) in batch.iter() {
+            self.logits_into(params, x, &mut ws.zs[0]);
+            total += softmax::cross_entropy_logits(&ws.zs[0], self.check_label(y));
+        }
+        total / batch.len() as f64 + reg
+    }
+
+    fn grad_into(&self, params: &[f64], batch: &Batch, ws: &mut Workspace, out: &mut [f64]) {
+        ws.check(&self.ws_dims());
+        assert_eq!(out.len(), self.param_len(), "grad_into: bad output length");
+        out.fill(0.0);
+        if !batch.is_empty() {
+            let inv_n = 1.0 / batch.len() as f64;
+            for (x, y) in batch.iter() {
+                let label = self.check_label(y);
+                self.logits_into(params, x, &mut ws.zs[0]);
+                // r = softmax(z) − e_label, hosted by ws.probs.
+                ws.probs.copy_from_slice(&ws.zs[0]);
+                softmax::softmax_in_place(&mut ws.probs);
+                ws.probs[label] -= 1.0;
+                for (k, &rk) in ws.probs.iter().enumerate() {
+                    vector::axpy(rk * inv_n, x, &mut out[k * self.dim..(k + 1) * self.dim]);
+                    out[self.weight_len() + k] += rk * inv_n;
+                }
+            }
+        }
+        let wl = self.weight_len();
+        vector::axpy(self.l2, &params[..wl], &mut out[..wl]);
+    }
+
+    fn hvp_into(
+        &self,
+        params: &[f64],
+        batch: &Batch,
+        v: &[f64],
+        ws: &mut Workspace,
+        out: &mut [f64],
+    ) {
+        ws.check(&self.ws_dims());
+        assert_eq!(out.len(), self.param_len(), "hvp_into: bad output length");
+        out.fill(0.0);
+        if !batch.is_empty() {
+            let inv_n = 1.0 / batch.len() as f64;
+            for (x, _) in batch.iter() {
+                self.logits_into(params, x, &mut ws.zs[0]);
+                ws.probs.copy_from_slice(&ws.zs[0]);
+                softmax::softmax_in_place(&mut ws.probs);
+                // s_k = V_k·x + v_{b,k} — the directional logit
+                // perturbation, hosted by ws.r_zs[0].
+                self.logits_into(v, x, &mut ws.r_zs[0]);
+                // u = (diag(p) − ppᵀ)·s = p∘s − p·(pᵀs), hosted by
+                // ws.delta[0].
+                let ps = vector::dot(&ws.probs, &ws.r_zs[0]);
+                for ((u, &pk), &sk) in ws.delta[0].iter_mut().zip(&ws.probs).zip(&ws.r_zs[0]) {
+                    *u = pk * (sk - ps);
+                }
+                for (k, &uk) in ws.delta[0].iter().enumerate() {
+                    vector::axpy(uk * inv_n, x, &mut out[k * self.dim..(k + 1) * self.dim]);
+                    out[self.weight_len() + k] += uk * inv_n;
+                }
+            }
+        }
+        let wl = self.weight_len();
+        vector::axpy(self.l2, &v[..wl], &mut out[..wl]);
     }
 
     fn sample_loss(&self, params: &[f64], x: &[f64], y: Target) -> f64 {
@@ -304,6 +424,44 @@ mod tests {
         assert!(vector::norm2(&hv) < 1e-15);
     }
 
+    #[test]
+    fn workspace_kernels_bitwise_match_allocating_baseline() {
+        let model = SoftmaxRegression::new(3, 3).with_l2(0.02);
+        let batch = toy_batch();
+        let mut ws = Model::workspace(&model);
+        let mut g = vec![0.0; model.param_len()];
+        let mut hv = vec![0.0; model.param_len()];
+        // Two rounds on one reused workspace: reuse must not leak state.
+        for seed in [5u64, 6] {
+            let p = toy_params(&model, seed);
+            let v: Vec<f64> = (0..model.param_len())
+                .map(|i| ((i * 13 + seed as usize) % 7) as f64 - 3.0)
+                .collect();
+            let g_ref = model.grad_alloc(&p, &batch);
+            let hv_ref = model.hvp_alloc(&p, &batch, &v);
+            let l_ref = model.loss_alloc(&p, &batch);
+            model.grad_into(&p, &batch, &mut ws, &mut g);
+            model.hvp_into(&p, &batch, &v, &mut ws, &mut hv);
+            assert_eq!(g, g_ref, "grad must be bitwise identical");
+            assert_eq!(hv, hv_ref, "hvp must be bitwise identical");
+            assert_eq!(model.loss_with(&p, &batch, &mut ws), l_ref);
+            // Public entry points route through the workspace path.
+            assert_eq!(model.grad(&p, &batch), g_ref);
+            assert_eq!(model.hvp(&p, &batch, &v), hv_ref);
+            assert_eq!(model.loss(&p, &batch), l_ref);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Workspace shape mismatch")]
+    fn foreign_workspace_is_rejected() {
+        let model = SoftmaxRegression::new(3, 3);
+        let p = toy_params(&model, 1);
+        let mut ws = Workspace::new(&[4, 3]);
+        let mut g = vec![0.0; model.param_len()];
+        model.grad_into(&p, &toy_batch(), &mut ws, &mut g);
+    }
+
     proptest! {
         #[test]
         fn prop_hessian_psd(seed in 0u64..50) {
@@ -315,6 +473,28 @@ mod tests {
                 .collect();
             let hv = model.hvp(&p, &toy_batch(), &v);
             prop_assert!(vector::dot(&v, &hv) >= -1e-9);
+        }
+
+        #[test]
+        fn prop_workspace_kernels_equal_allocating_on_random_inputs(
+            seed in 0u64..40,
+            vseed in 0u64..40,
+        ) {
+            let model = SoftmaxRegression::new(3, 3).with_l2(0.01);
+            let batch = toy_batch();
+            let p = toy_params(&model, seed);
+            let v = toy_params(&model, vseed + 500);
+            let mut ws = Model::workspace(&model);
+            let mut g = vec![0.0; model.param_len()];
+            let mut hv = vec![0.0; model.param_len()];
+            model.grad_into(&p, &batch, &mut ws, &mut g);
+            model.hvp_into(&p, &batch, &v, &mut ws, &mut hv);
+            prop_assert_eq!(g, model.grad_alloc(&p, &batch));
+            prop_assert_eq!(hv, model.hvp_alloc(&p, &batch, &v));
+            prop_assert_eq!(
+                model.loss_with(&p, &batch, &mut ws),
+                model.loss_alloc(&p, &batch)
+            );
         }
 
         #[test]

@@ -1,6 +1,6 @@
 use rand::RngCore;
 
-use crate::{Batch, Target};
+use crate::{Batch, Target, Workspace};
 
 /// A model's output for a single input.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +88,56 @@ pub trait Model: Send + Sync + std::fmt::Debug {
 
     /// Model output for one input.
     fn predict(&self, params: &[f64], x: &[f64]) -> Prediction;
+
+    /// Builds a scratch [`Workspace`] sized for this model's kernels.
+    ///
+    /// Models that implement the workspace-threaded entry points
+    /// ([`loss_with`](Model::loss_with), [`grad_into`](Model::grad_into),
+    /// [`hvp_into`](Model::hvp_into)) override this to return properly
+    /// sized buffers; the default returns an empty workspace because the
+    /// default entry points below ignore it.
+    fn workspace(&self) -> Workspace {
+        Workspace::empty()
+    }
+
+    /// [`loss`](Model::loss) computed through a reusable workspace —
+    /// models with per-sample scratch override this to avoid allocating
+    /// in the batch loop. Must return exactly the same value as `loss`.
+    fn loss_with(&self, params: &[f64], batch: &Batch, ws: &mut Workspace) -> f64 {
+        let _ = ws;
+        self.loss(params, batch)
+    }
+
+    /// [`grad`](Model::grad) written into a caller-provided buffer through
+    /// a reusable workspace. Must produce exactly the same values as
+    /// `grad` (the workspace changes where scratch lives, not the
+    /// arithmetic).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != param_len()`.
+    fn grad_into(&self, params: &[f64], batch: &Batch, ws: &mut Workspace, out: &mut [f64]) {
+        let _ = ws;
+        out.copy_from_slice(&self.grad(params, batch));
+    }
+
+    /// [`hvp`](Model::hvp) written into a caller-provided buffer through a
+    /// reusable workspace. Must produce exactly the same values as `hvp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != param_len()`.
+    fn hvp_into(
+        &self,
+        params: &[f64],
+        batch: &Batch,
+        v: &[f64],
+        ws: &mut Workspace,
+        out: &mut [f64],
+    ) {
+        let _ = ws;
+        out.copy_from_slice(&self.hvp(params, batch, v));
+    }
 
     /// Fraction of correctly classified samples; 0 for an empty batch.
     ///

@@ -6,8 +6,8 @@
 //!    [`Message::GlobalModel`] frame and broadcasts it (downlink cost per
 //!    participating node);
 //! 2. participating nodes decode it and run their `T0` local iterations —
-//!    executed on real threads via `crossbeam` so large federations use
-//!    the host's cores;
+//!    executed on real threads via [`fml_core::parallel`] so large
+//!    federations use the host's cores;
 //! 3. each node serializes a [`Message::ModelUpdate`] and uploads it
 //!    (uplink cost);
 //! 4. the platform aggregates with size-proportional weights renormalized
@@ -443,8 +443,9 @@ impl SimRunner {
     }
 }
 
-/// Fans the participants' local updates across `threads` workers with
-/// crossbeam scoped threads; returns results in participant order.
+/// Fans the participants' local updates across `threads` workers via the
+/// shared [`fml_core::parallel`] executor; returns results in participant
+/// order, independent of the thread count.
 fn parallel_local_updates(
     threads: usize,
     participants: &[usize],
@@ -453,33 +454,7 @@ fn parallel_local_updates(
     t0: usize,
     local: &LocalUpdateFn<'_>,
 ) -> Vec<Vec<f64>> {
-    let workers = threads.min(participants.len()).max(1);
-    if workers == 1 {
-        return participants
-            .iter()
-            .map(|&i| local(&tasks[i], start, t0))
-            .collect();
-    }
-    let chunk = participants.len().div_ceil(workers);
-    let mut results: Vec<Vec<Vec<f64>>> = Vec::with_capacity(workers);
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = participants
-            .chunks(chunk)
-            .map(|idx_chunk| {
-                scope.spawn(move |_| {
-                    idx_chunk
-                        .iter()
-                        .map(|&i| local(&tasks[i], start, t0))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("local update worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    results.into_iter().flatten().collect()
+    fml_core::parallel::map_ordered(threads, participants, |_, &i| local(&tasks[i], start, t0))
 }
 
 #[cfg(test)]

@@ -66,7 +66,7 @@ fn main() {
             &fedml,
             &model,
             &tasks,
-            &vec![1.0; 3],
+            &[1.0; 3],
             budget,
             &mut rng,
         );

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full local gate: lint (clippy, warnings fatal), the workspace test
+# suite, and the bench smoke pass. CI and pre-merge checks should run
+# exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace -q
+"$(dirname "$0")/bench_smoke.sh"
+echo "check: OK"

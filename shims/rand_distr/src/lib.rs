@@ -1,0 +1,147 @@
+//! Workspace-local stand-in for the `rand_distr` crate.
+//!
+//! Provides the two distributions this repository samples — [`Normal`]
+//! (Box–Muller) and [`Pareto`] (inverse transform) — behind the same
+//! `Distribution` trait shape as `rand_distr` 0.4.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, Standard};
+
+/// Types that can generate samples of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `std_dev` is negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(ParamError("std_dev must be finite and non-negative"));
+        }
+        if !mean.is_finite() {
+            return Err(ParamError("mean must be finite"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The mean parameter.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation parameter.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: u1 in (0, 1] so ln is finite.
+        let u1: f64 = 1.0 - <f64 as Standard>::sample(rng);
+        let u2: f64 = <f64 as Standard>::sample(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// The Pareto distribution with scale `x_m` and shape `α`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    inv_shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `scale` or `shape` is not positive and finite.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, ParamError> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(ParamError("scale must be positive and finite"));
+        }
+        if !shape.is_finite() || shape <= 0.0 {
+            return Err(ParamError("shape must be positive and finite"));
+        }
+        Ok(Pareto {
+            scale,
+            inv_shape: 1.0 / shape,
+        })
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform: x_m / U^(1/α), U in (0, 1].
+        let u: f64 = 1.0 - <f64 as Standard>::sample(rng);
+        self.scale / u.powf(self.inv_shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = Normal::new(2.0, 3.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn pareto_support_and_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Pareto::new(1.5, 3.0).unwrap();
+        for _ in 0..5000 {
+            assert!(d.sample(&mut rng) >= 1.5);
+        }
+    }
+
+    #[test]
+    fn pareto_rejects_bad_params() {
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+    }
+}

@@ -1,0 +1,531 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this repository uses — named-field structs and enums with
+//! unit, newtype, and struct variants — against the shim `serde` crate's
+//! `Value`-based traits. Supported `#[serde(...)]` attributes:
+//!
+//! * field: `default`, `default = "path"`, `skip_serializing_if = "path"`,
+//!   `rename = "..."`;
+//! * container: `tag = "..."` (internally tagged enums),
+//!   `rename_all = "snake_case" | "lowercase"`.
+//!
+//! The macro parses the item's token stream directly (no `syn`/`quote`
+//! available offline) and emits the impl as source text. Generics are not
+//! supported; none of the workspace's serialized types are generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct SerdeAttrs {
+    default: bool,
+    default_path: Option<String>,
+    skip_if: Option<String>,
+    rename: Option<String>,
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+struct Field {
+    name: String,
+    is_option: bool,
+    attrs: SerdeAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: SerdeAttrs,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = parse_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kw = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    let body_group = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive shim: expected braced body for `{name}`, got {other:?}"),
+    };
+    let body_tokens: Vec<TokenTree> = body_group.into_iter().collect();
+    let body = match kw.as_str() {
+        "struct" => Body::Struct(parse_fields(&body_tokens)),
+        "enum" => Body::Enum(parse_variants(&body_tokens)),
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    };
+    Item { name, attrs, body }
+}
+
+fn parse_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        let group = match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g.stream(),
+            other => panic!("serde_derive shim: malformed attribute, got {other:?}"),
+        };
+        *i += 1;
+        let inner: Vec<TokenTree> = group.into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    parse_serde_args(&args.stream(), &mut attrs);
+                }
+            }
+        }
+    }
+    attrs
+}
+
+fn parse_serde_args(stream: &TokenStream, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = expect_ident(&tokens, &mut i);
+        let mut value = None;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            match tokens.get(i) {
+                Some(TokenTree::Literal(lit)) => {
+                    value = Some(strip_quotes(&lit.to_string()));
+                    i += 1;
+                }
+                other => panic!("serde_derive shim: expected literal after `{key} =`, got {other:?}"),
+            }
+        }
+        match (key.as_str(), value) {
+            ("default", None) => attrs.default = true,
+            ("default", Some(path)) => attrs.default_path = Some(path),
+            ("skip_serializing_if", Some(path)) => attrs.skip_if = Some(path),
+            ("rename", Some(name)) => attrs.rename = Some(name),
+            ("tag", Some(tag)) => attrs.tag = Some(tag),
+            ("rename_all", Some(rule)) => attrs.rename_all = Some(rule),
+            (other, _) => panic!("serde_derive shim: unsupported serde attribute `{other}`"),
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+}
+
+fn parse_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let attrs = parse_attrs(tokens, &mut i);
+        skip_visibility(tokens, &mut i);
+        let name = expect_ident(tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        let mut first_type_ident: Option<String> = None;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                TokenTree::Ident(id) if first_type_ident.is_none() => {
+                    first_type_ident = Some(id.to_string());
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let is_option = first_type_ident.as_deref() == Some("Option");
+        fields.push(Field {
+            name,
+            is_option,
+            attrs,
+        });
+    }
+    fields
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        let _attrs = parse_attrs(tokens, &mut i);
+        let name = expect_ident(tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Struct(parse_fields(&inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive shim: expected identifier, got {other:?}"),
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Naming helpers
+// ---------------------------------------------------------------------------
+
+fn to_snake(s: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if ch.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(ch.to_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn apply_rename(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("snake_case") => to_snake(name),
+        Some("lowercase") => name.to_lowercase(),
+        Some(other) => panic!("serde_derive shim: unsupported rename_all rule `{other}`"),
+        None => name.to_string(),
+    }
+}
+
+fn field_key(field: &Field) -> String {
+    field
+        .attrs
+        .rename
+        .clone()
+        .unwrap_or_else(|| field.name.clone())
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut code = String::from(
+                "let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n",
+            );
+            for f in fields {
+                code.push_str(&serialize_field(f, &format!("&self.{}", f.name)));
+            }
+            code.push_str("::serde::Value::Map(__m)\n");
+            code
+        }
+        Body::Enum(variants) => serialize_enum(&item, variants),
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_mut, unused_variables)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n",
+        name = item.name,
+    );
+    out.parse().expect("serde_derive shim: generated Serialize impl parses")
+}
+
+fn serialize_field(f: &Field, access: &str) -> String {
+    let key = field_key(f);
+    let push = format!(
+        "__m.push((String::from(\"{key}\"), ::serde::Serialize::to_value({access})));\n"
+    );
+    match &f.attrs.skip_if {
+        Some(path) => format!("if !{path}({access}) {{\n{push}}}\n"),
+        None => push,
+    }
+}
+
+fn serialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let rename_all = item.attrs.rename_all.as_deref();
+    let mut arms = String::new();
+    for v in variants {
+        let tag_name = apply_rename(&v.name, rename_all);
+        match (&v.kind, &item.attrs.tag) {
+            (VariantKind::Unit, None) => {
+                arms.push_str(&format!(
+                    "{}::{} => ::serde::Value::Str(String::from(\"{tag_name}\")),\n",
+                    item.name, v.name
+                ));
+            }
+            (VariantKind::Unit, Some(tag)) => {
+                arms.push_str(&format!(
+                    "{}::{} => ::serde::Value::Map(vec![(String::from(\"{tag}\"), \
+                     ::serde::Value::Str(String::from(\"{tag_name}\")))]),\n",
+                    item.name, v.name
+                ));
+            }
+            (VariantKind::Newtype, None) => {
+                arms.push_str(&format!(
+                    "{}::{}(__x) => ::serde::Value::Map(vec![(String::from(\"{tag_name}\"), \
+                     ::serde::Serialize::to_value(__x))]),\n",
+                    item.name, v.name
+                ));
+            }
+            (VariantKind::Newtype, Some(_)) => {
+                panic!(
+                    "serde_derive shim: newtype variants are not supported in internally \
+                     tagged enums"
+                )
+            }
+            (VariantKind::Struct(fields), tag) => {
+                let bindings: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{}: __f_{}", f.name, f.name))
+                    .collect();
+                let mut body = String::from(
+                    "let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                );
+                if let Some(tag) = tag {
+                    body.push_str(&format!(
+                        "__m.push((String::from(\"{tag}\"), \
+                         ::serde::Value::Str(String::from(\"{tag_name}\"))));\n"
+                    ));
+                }
+                for f in fields {
+                    body.push_str(&serialize_field(f, &format!("__f_{}", f.name)));
+                }
+                let inner = if tag.is_some() {
+                    "::serde::Value::Map(__m)".to_string()
+                } else {
+                    format!(
+                        "::serde::Value::Map(vec![(String::from(\"{tag_name}\"), \
+                         ::serde::Value::Map(__m))])"
+                    )
+                };
+                arms.push_str(&format!(
+                    "{}::{} {{ {} }} => {{\n{body}{inner}\n}}\n",
+                    item.name,
+                    v.name,
+                    bindings.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}\n")
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut code = String::from(
+                "let __m = __v.as_map().ok_or_else(|| ::serde::Error::expected(\"object\", __v))?;\n",
+            );
+            code.push_str(&format!(
+                "::std::result::Result::Ok({} {{\n{}}})\n",
+                item.name,
+                deserialize_fields(fields, "__m")
+            ));
+            code
+        }
+        Body::Enum(variants) => deserialize_enum(&item, variants),
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_variables)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n",
+        name = item.name,
+    );
+    out.parse().expect("serde_derive shim: generated Deserialize impl parses")
+}
+
+/// Emits `name: <expr>,` initializers reading each field from map `map_var`.
+fn deserialize_fields(fields: &[Field], map_var: &str) -> String {
+    let mut code = String::new();
+    for f in fields {
+        let key = field_key(f);
+        let missing = if let Some(path) = &f.attrs.default_path {
+            format!("{path}()")
+        } else if f.attrs.default {
+            "::std::default::Default::default()".to_string()
+        } else if f.is_option {
+            "::std::option::Option::None".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"missing field `{key}`\"))"
+            )
+        };
+        code.push_str(&format!(
+            "{name}: match ::serde::value_get({map_var}, \"{key}\") {{\n\
+                 ::std::option::Option::Some(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
+                 ::std::option::Option::None => {missing},\n\
+             }},\n",
+            name = f.name,
+        ));
+    }
+    code
+}
+
+fn deserialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let rename_all = item.attrs.rename_all.as_deref();
+    if let Some(tag) = &item.attrs.tag {
+        // Internally tagged: read the tag key, then the variant's fields
+        // from the same map.
+        let mut arms = String::new();
+        for v in variants {
+            let tag_name = apply_rename(&v.name, rename_all);
+            match &v.kind {
+                VariantKind::Unit => {
+                    arms.push_str(&format!(
+                        "\"{tag_name}\" => ::std::result::Result::Ok({}::{}),\n",
+                        item.name, v.name
+                    ));
+                }
+                VariantKind::Struct(fields) => {
+                    arms.push_str(&format!(
+                        "\"{tag_name}\" => ::std::result::Result::Ok({}::{} {{\n{}}}),\n",
+                        item.name,
+                        v.name,
+                        deserialize_fields(fields, "__m")
+                    ));
+                }
+                VariantKind::Newtype => panic!(
+                    "serde_derive shim: newtype variants are not supported in internally \
+                     tagged enums"
+                ),
+            }
+        }
+        format!(
+            "let __m = __v.as_map().ok_or_else(|| ::serde::Error::expected(\"object\", __v))?;\n\
+             let __tag = ::serde::value_get(__m, \"{tag}\")\
+                 .ok_or_else(|| ::serde::Error::custom(\"missing tag field `{tag}`\"))?\
+                 .as_str()\
+                 .ok_or_else(|| ::serde::Error::custom(\"tag field `{tag}` must be a string\"))?;\n\
+             match __tag {{\n{arms}\
+             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{}}`\", __other))),\n\
+             }}\n"
+        )
+    } else {
+        // Externally tagged.
+        let mut str_arms = String::new();
+        let mut map_arms = String::new();
+        for v in variants {
+            let tag_name = apply_rename(&v.name, rename_all);
+            match &v.kind {
+                VariantKind::Unit => {
+                    str_arms.push_str(&format!(
+                        "\"{tag_name}\" => ::std::result::Result::Ok({}::{}),\n",
+                        item.name, v.name
+                    ));
+                }
+                VariantKind::Newtype => {
+                    map_arms.push_str(&format!(
+                        "\"{tag_name}\" => ::std::result::Result::Ok({}::{}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n",
+                        item.name, v.name
+                    ));
+                }
+                VariantKind::Struct(fields) => {
+                    map_arms.push_str(&format!(
+                        "\"{tag_name}\" => {{\n\
+                             let __m = __inner.as_map().ok_or_else(|| \
+                                 ::serde::Error::expected(\"object\", __inner))?;\n\
+                             ::std::result::Result::Ok({}::{} {{\n{}}})\n\
+                         }}\n",
+                        item.name,
+                        v.name,
+                        deserialize_fields(fields, "__m")
+                    ));
+                }
+            }
+        }
+        format!(
+            "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{str_arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"unknown variant `{{}}`\", __other))),\n\
+                 }},\n\
+                 ::serde::Value::Map(__map) if __map.len() == 1 => {{\n\
+                     let (__k, __inner) = &__map[0];\n\
+                     match __k.as_str() {{\n{map_arms}\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown variant `{{}}`\", __other))),\n\
+                     }}\n\
+                 }}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::expected(\
+                     \"enum representation\", __other)),\n\
+             }}\n"
+        )
+    }
+}
