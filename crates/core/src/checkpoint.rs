@@ -203,6 +203,8 @@ mod tests {
                 meta_loss: 0.25,
                 train_loss: 0.5,
                 aggregated: true,
+                reporters: 2,
+                degraded: false,
             }],
             comm_rounds: 3,
             local_iterations: 15,

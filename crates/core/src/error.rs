@@ -16,6 +16,20 @@ pub enum CoreError {
         /// Iteration at which divergence was detected.
         iteration: usize,
     },
+    /// Too few nodes reported at an aggregation point to trust the round.
+    ///
+    /// Produced by [`crate::gather::gather`] when the number of validated
+    /// reporters falls below the configured minimum quorum; aggregating a
+    /// near-empty round would silently bias the global model toward
+    /// whichever nodes happened to survive.
+    QuorumLost {
+        /// Communication round at which the quorum check failed.
+        round: usize,
+        /// Validated reporters this round.
+        reporters: usize,
+        /// Minimum reporters the policy requires.
+        required: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -25,6 +39,16 @@ impl fmt::Display for CoreError {
             CoreError::NoSourceTasks => write!(f, "no source tasks to train on"),
             CoreError::Diverged { iteration } => {
                 write!(f, "parameters diverged at iteration {iteration}")
+            }
+            CoreError::QuorumLost {
+                round,
+                reporters,
+                required,
+            } => {
+                write!(
+                    f,
+                    "quorum lost at round {round}: {reporters} reporters, {required} required"
+                )
             }
         }
     }
@@ -52,5 +76,27 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CoreError>();
+    }
+
+    #[test]
+    fn quorum_lost_display() {
+        let e = CoreError::QuorumLost {
+            round: 3,
+            reporters: 1,
+            required: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("round 3") && s.contains('1') && s.contains('4'));
+    }
+
+    #[test]
+    fn usable_as_boxed_error() {
+        let e: Box<dyn std::error::Error> = Box::new(CoreError::QuorumLost {
+            round: 1,
+            reporters: 0,
+            required: 2,
+        });
+        assert!(e.source().is_none());
+        assert!(!e.to_string().is_empty());
     }
 }

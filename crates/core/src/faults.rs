@@ -1,0 +1,367 @@
+//! Deterministic, seeded fault injection for federated training.
+//!
+//! Real edge fleets straggle, crash, and upload garbage; the paper's
+//! Algorithm 1 assumes none of that. A [`FaultPlan`] describes, for every
+//! `(node, round)` pair, whether that node fails this round and how:
+//!
+//! * **Crash** — the node never reports its update;
+//! * **Straggle** — the report arrives `delay_s` seconds late, to be
+//!   judged against the round deadline of a
+//!   [`GatherPolicy`](crate::gather::GatherPolicy);
+//! * **Corrupt** — the reported parameters are garbage (NaN, ±Inf, or a
+//!   norm-blown vector), to be caught by update validation.
+//!
+//! # Determinism
+//!
+//! Every draw is a *pure function* of `(seed, node, round)`: the plan
+//! derives a private RNG per pair by mixing the three values through a
+//! SplitMix64-style finalizer and seeding a fresh
+//! [`StdRng`](rand::rngs::StdRng) from the result. No shared mutable RNG
+//! stream exists, so fault schedules are bitwise identical at any worker
+//! thread count and regardless of evaluation order — preserving the
+//! repository's thread-count determinism guarantees.
+//!
+//! Scripted faults (exact `(node, round)` entries and permanent crashes)
+//! take precedence over the probabilistic draws, so tests and experiments
+//! can pin down exact failure scenarios.
+//!
+//! # Examples
+//!
+//! ```
+//! use fml_core::faults::{CorruptMode, Fault, FaultPlan};
+//!
+//! // Nodes 3 and 7 die permanently, node 5 uploads NaNs in round 3.
+//! let plan = FaultPlan::new(42)
+//!     .with_crash_from(3, 2)
+//!     .with_crash_from(7, 4)
+//!     .with_corrupt(5, 3, CorruptMode::NaN);
+//! assert_eq!(plan.draw(3, 2), Some(Fault::Crash));
+//! assert_eq!(plan.draw(3, 5), Some(Fault::Crash)); // permanent
+//! assert!(matches!(plan.draw(5, 3), Some(Fault::Corrupt(_))));
+//! assert_eq!(plan.draw(0, 1), None); // healthy node
+//! ```
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How a corrupt node mangles its uploaded parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CorruptMode {
+    /// Every coordinate becomes `f64::NAN`.
+    NaN,
+    /// Every coordinate becomes `f64::INFINITY`.
+    Inf,
+    /// The vector is scaled by this factor (norm blow-up; finite but
+    /// wildly out of distribution — the case L2 clipping and trimmed-mean
+    /// aggregation exist for).
+    NormBlowup(f64),
+}
+
+/// One injected failure for a `(node, round)` pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// The node never reports this round.
+    Crash,
+    /// The node's report arrives late by this many seconds.
+    Straggle {
+        /// Lateness past the nominal report time.
+        delay_s: f64,
+    },
+    /// The node reports garbage parameters.
+    Corrupt(CorruptMode),
+}
+
+/// A deterministic, seeded schedule of per-node per-round failures.
+///
+/// Combines probabilistic faults (independent per `(node, round)` pair,
+/// drawn from a dedicated seeded stream) with scripted faults (exact
+/// entries and permanent crashes) that override the probabilistic layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    crash_prob: f64,
+    straggle_prob: f64,
+    max_straggle_s: f64,
+    corrupt_prob: f64,
+    corrupt_mode: CorruptMode,
+    /// Exact scripted faults, keyed by `(node, round)`.
+    scripted: BTreeMap<(usize, usize), Fault>,
+    /// Permanent crashes: node → first round it stops reporting.
+    crashed_from: BTreeMap<usize, usize>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults; add faults with the
+    /// builder methods.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            crash_prob: 0.0,
+            straggle_prob: 0.0,
+            max_straggle_s: 0.0,
+            corrupt_prob: 0.0,
+            corrupt_mode: CorruptMode::NaN,
+            scripted: BTreeMap::new(),
+            crashed_from: BTreeMap::new(),
+        }
+    }
+
+    /// Each node independently crashes (no report) with probability `p`
+    /// each round.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1]`.
+    pub fn with_crash_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "crash probability in [0, 1]");
+        self.crash_prob = p;
+        self
+    }
+
+    /// Each node independently straggles with probability `p` each round,
+    /// with a delay drawn uniformly from `(0, max_delay_s]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1]` or `max_delay_s < 0`.
+    pub fn with_straggle_prob(mut self, p: f64, max_delay_s: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "straggle probability in [0, 1]");
+        assert!(max_delay_s >= 0.0, "straggle delay must be non-negative");
+        self.straggle_prob = p;
+        self.max_straggle_s = max_delay_s;
+        self
+    }
+
+    /// Each node independently corrupts its upload with probability `p`
+    /// each round, using the given corruption mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1]`.
+    pub fn with_corrupt_prob(mut self, p: f64, mode: CorruptMode) -> Self {
+        assert!((0.0..=1.0).contains(&p), "corrupt probability in [0, 1]");
+        self.corrupt_prob = p;
+        self.corrupt_mode = mode;
+        self
+    }
+
+    /// Scripts a one-round crash for `node` at `round`.
+    pub fn with_crash(mut self, node: usize, round: usize) -> Self {
+        self.scripted.insert((node, round), Fault::Crash);
+        self
+    }
+
+    /// Scripts a *permanent* crash: `node` stops reporting from `round`
+    /// onward (a dead device, not a transient failure).
+    pub fn with_crash_from(mut self, node: usize, round: usize) -> Self {
+        self.crashed_from.insert(node, round);
+        self
+    }
+
+    /// Scripts a one-round straggle for `node` at `round` with an exact
+    /// delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `delay_s < 0`.
+    pub fn with_straggle(mut self, node: usize, round: usize, delay_s: f64) -> Self {
+        assert!(delay_s >= 0.0, "straggle delay must be non-negative");
+        self.scripted
+            .insert((node, round), Fault::Straggle { delay_s });
+        self
+    }
+
+    /// Scripts a one-round corruption for `node` at `round`.
+    pub fn with_corrupt(mut self, node: usize, round: usize, mode: CorruptMode) -> Self {
+        self.scripted.insert((node, round), Fault::Corrupt(mode));
+        self
+    }
+
+    /// True when the plan can never produce a fault.
+    pub fn is_benign(&self) -> bool {
+        self.crash_prob == 0.0
+            && self.straggle_prob == 0.0
+            && self.corrupt_prob == 0.0
+            && self.scripted.is_empty()
+            && self.crashed_from.is_empty()
+    }
+
+    /// The fault (if any) injected for `node` at `round` (1-based).
+    ///
+    /// Pure in `(self, node, round)`: repeated calls return the same
+    /// answer, and no call perturbs any other draw.
+    pub fn draw(&self, node: usize, round: usize) -> Option<Fault> {
+        if let Some(&from) = self.crashed_from.get(&node) {
+            if round >= from {
+                return Some(Fault::Crash);
+            }
+        }
+        if let Some(&fault) = self.scripted.get(&(node, round)) {
+            return Some(fault);
+        }
+        if self.crash_prob == 0.0 && self.corrupt_prob == 0.0 && self.straggle_prob == 0.0 {
+            return None;
+        }
+        let mut rng = self.pair_rng(node, round);
+        // Fixed draw order: one uniform decides the fault class, a second
+        // (when straggling) its delay.
+        let u: f64 = rng.gen();
+        if u < self.crash_prob {
+            return Some(Fault::Crash);
+        }
+        if u < self.crash_prob + self.corrupt_prob {
+            return Some(Fault::Corrupt(self.corrupt_mode));
+        }
+        if u < self.crash_prob + self.corrupt_prob + self.straggle_prob {
+            let frac: f64 = rng.gen();
+            return Some(Fault::Straggle {
+                delay_s: self.max_straggle_s * frac.max(f64::MIN_POSITIVE),
+            });
+        }
+        None
+    }
+
+    /// The dedicated RNG stream for a `(node, round)` pair.
+    fn pair_rng(&self, node: usize, round: usize) -> StdRng {
+        StdRng::seed_from_u64(mix3(self.seed, node as u64, round as u64))
+    }
+}
+
+/// Mixes three words into one via two SplitMix64 finalizer passes —
+/// enough diffusion that adjacent `(node, round)` pairs get unrelated
+/// streams.
+fn mix3(seed: u64, node: u64, round: u64) -> u64 {
+    let x = seed
+        .wrapping_add(node.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(round.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    splitmix(splitmix(x))
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Applies a corruption mode to an update in place. Deterministic: no
+/// randomness is involved, so a corrupt upload is bitwise reproducible.
+pub fn corrupt(mode: CorruptMode, params: &mut [f64]) {
+    match mode {
+        CorruptMode::NaN => params.fill(f64::NAN),
+        CorruptMode::Inf => params.fill(f64::INFINITY),
+        CorruptMode::NormBlowup(factor) => {
+            for p in params {
+                *p *= factor;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_pure_and_order_independent() {
+        let plan = FaultPlan::new(7)
+            .with_crash_prob(0.2)
+            .with_straggle_prob(0.2, 5.0)
+            .with_corrupt_prob(0.1, CorruptMode::NaN);
+        // Forward order.
+        let forward: Vec<_> = (0..20)
+            .flat_map(|node| (1..=10).map(move |round| (node, round)))
+            .map(|(n, r)| plan.draw(n, r))
+            .collect();
+        // Reverse order, interleaved with redundant draws.
+        let mut reverse: Vec<_> = (0..20)
+            .flat_map(|node| (1..=10).map(move |round| (node, round)))
+            .collect();
+        reverse.reverse();
+        let mut got: Vec<_> = reverse
+            .iter()
+            .map(|&(n, r)| {
+                let _ = plan.draw(5, 5); // extra draw must not disturb anything
+                plan.draw(n, r)
+            })
+            .collect();
+        got.reverse();
+        assert_eq!(forward, got);
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultPlan::new(1).with_crash_prob(0.5);
+        let b = FaultPlan::new(2).with_crash_prob(0.5);
+        let sched = |p: &FaultPlan| -> Vec<bool> {
+            (0..50)
+                .map(|n| matches!(p.draw(n, 1), Some(Fault::Crash)))
+                .collect()
+        };
+        assert_ne!(sched(&a), sched(&b));
+    }
+
+    #[test]
+    fn probabilities_are_roughly_respected() {
+        let plan = FaultPlan::new(3).with_crash_prob(0.25);
+        let crashes = (0..4000)
+            .filter(|&n| plan.draw(n, 1) == Some(Fault::Crash))
+            .count();
+        let rate = crashes as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "crash rate {rate}");
+    }
+
+    #[test]
+    fn scripted_overrides_probabilistic() {
+        let plan = FaultPlan::new(0)
+            .with_crash_prob(0.0)
+            .with_corrupt(4, 2, CorruptMode::Inf);
+        assert_eq!(plan.draw(4, 2), Some(Fault::Corrupt(CorruptMode::Inf)));
+        assert_eq!(plan.draw(4, 3), None);
+    }
+
+    #[test]
+    fn permanent_crash_persists() {
+        let plan = FaultPlan::new(0).with_crash_from(2, 5);
+        assert_eq!(plan.draw(2, 4), None);
+        for round in 5..20 {
+            assert_eq!(plan.draw(2, round), Some(Fault::Crash));
+        }
+    }
+
+    #[test]
+    fn straggle_delay_is_bounded_and_positive() {
+        let plan = FaultPlan::new(11).with_straggle_prob(1.0, 3.0);
+        for n in 0..100 {
+            match plan.draw(n, 1) {
+                Some(Fault::Straggle { delay_s }) => {
+                    assert!(delay_s > 0.0 && delay_s <= 3.0, "delay {delay_s}")
+                }
+                other => panic!("expected straggle, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_modes() {
+        let mut v = vec![1.0, -2.0];
+        corrupt(CorruptMode::NaN, &mut v);
+        assert!(v.iter().all(|x| x.is_nan()));
+        let mut v = vec![1.0, -2.0];
+        corrupt(CorruptMode::Inf, &mut v);
+        assert!(v.iter().all(|x| x.is_infinite()));
+        let mut v = vec![1.0, -2.0];
+        corrupt(CorruptMode::NormBlowup(1e6), &mut v);
+        assert_eq!(v, vec![1e6, -2e6]);
+    }
+
+    #[test]
+    fn benign_plan_never_faults() {
+        let plan = FaultPlan::new(99);
+        assert!(plan.is_benign());
+        assert!((0..50).all(|n| (1..=20).all(|r| plan.draw(n, r).is_none())));
+        assert!(!plan.clone().with_crash_prob(0.1).is_benign());
+    }
+}

@@ -189,6 +189,8 @@ impl FedMl {
                     meta_loss: weighted_meta_loss(model, tasks, &avg, cfg.alpha),
                     train_loss: weighted_train_loss(model, tasks, &avg),
                     aggregated,
+                    reporters: tasks.len(),
+                    degraded: false,
                 });
             }
         }
@@ -228,6 +230,59 @@ impl FedMl {
             fml_linalg::vector::axpy(-cfg.beta, &g, &mut theta_i);
         }
         theta_i
+    }
+
+    /// Runs FedML under fault injection with gather-policy protection and
+    /// round-level recovery (see [`crate::ft`]).
+    ///
+    /// Each round, every node runs `T0` local meta-updates from the
+    /// current global model; reports then pass through the
+    /// [`GatherPolicy`](crate::gather::GatherPolicy) (deadline, update
+    /// validation, quorum) before the weighted aggregation of eq. 5,
+    /// renormalized over the actual reporters. On quorum loss or
+    /// divergence the trainer rolls back to the last good round and
+    /// excludes the failing nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::QuorumLost`] or [`CoreError::Diverged`] when
+    /// the recovery budget is exhausted or no fleet remains.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tasks` is empty or `theta0` has the wrong length.
+    pub fn train_with_faults(
+        &self,
+        model: &dyn Model,
+        tasks: &[SourceTask],
+        theta0: &[f64],
+        ft: &crate::ft::FaultTolerance,
+    ) -> Result<TrainOutput, crate::CoreError> {
+        assert!(!tasks.is_empty(), "FedML: no source tasks");
+        assert_eq!(theta0.len(), model.param_len(), "FedML: bad theta0 length");
+        let cfg = &self.cfg;
+        let spec = crate::ft::FtSpec {
+            name: "FedML",
+            rounds: cfg.rounds,
+            local_steps: cfg.local_steps,
+            threads: cfg
+                .threads
+                .unwrap_or_else(|| crate::parallel::default_threads(tasks.len())),
+        };
+        crate::ft::run_fault_tolerant(
+            &spec,
+            tasks,
+            theta0,
+            ft,
+            |_, task, theta| self.local_update(model, task, theta, cfg.local_steps),
+            |_, agg| agg,
+            |theta| {
+                (
+                    weighted_meta_loss(model, tasks, theta, cfg.alpha),
+                    weighted_train_loss(model, tasks, theta),
+                )
+            },
+        )
     }
 
     /// Centralized meta-gradient descent on the same objective — used to
@@ -434,5 +489,38 @@ mod tests {
     #[test]
     fn trainer_name() {
         assert_eq!(FedMl::new(FedMlConfig::new(0.01, 0.01)).name(), "FedML");
+    }
+
+    #[test]
+    fn benign_fault_plan_matches_train_from() {
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(2.0, 0.0), (-2.0, 0.0), (1.0, 1.0)]);
+        let cfg = FedMlConfig::new(0.05, 0.05)
+            .with_local_steps(3)
+            .with_rounds(8)
+            .with_record_every(0);
+        let trainer = FedMl::new(cfg);
+        let plain = trainer.train_from(&model, &tasks, &[1.5, -1.5]);
+        let ft = crate::ft::FaultTolerance::new(crate::faults::FaultPlan::new(0));
+        let tolerant = trainer
+            .train_with_faults(&model, &tasks, &[1.5, -1.5], &ft)
+            .unwrap();
+        assert_eq!(plain.params, tolerant.params);
+        assert!(tolerant.history.iter().all(|r| r.reporters == 3 && !r.degraded));
+    }
+
+    #[test]
+    fn crashed_minority_degrades_but_finishes() {
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(2.0, 0.0), (-2.0, 0.0), (1.0, 1.0), (-1.0, -1.0)]);
+        let cfg = FedMlConfig::new(0.05, 0.05).with_local_steps(2).with_rounds(6);
+        let plan = crate::faults::FaultPlan::new(9).with_crash_from(1, 3);
+        let ft = crate::ft::FaultTolerance::new(plan);
+        let out = FedMl::new(cfg)
+            .train_with_faults(&model, &tasks, &[1.0, 1.0], &ft)
+            .unwrap();
+        assert_eq!(out.history.len(), 6);
+        assert_eq!(out.history[1].reporters, 4);
+        assert!(out.history[2..].iter().all(|r| r.reporters == 3 && r.degraded));
     }
 }

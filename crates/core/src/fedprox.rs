@@ -112,6 +112,78 @@ impl FedProx {
         &self.cfg
     }
 
+    /// Runs `steps` local proximal-SGD iterations for a single node from
+    /// `theta` and returns the node's updated parameters. The proximal
+    /// anchor is the round-start global model `theta`, matching the
+    /// FedProx objective `L_i(θ) + (μ_prox/2)‖θ − θ_global‖²`.
+    pub fn local_update(
+        &self,
+        model: &dyn Model,
+        task: &SourceTask,
+        theta: &[f64],
+        steps: usize,
+    ) -> Vec<f64> {
+        let full = task.split.train.concat(&task.split.test);
+        let mut theta_i = theta.to_vec();
+        for _ in 0..steps {
+            let mut g = model.grad(&theta_i, &full);
+            for ((gi, ti), gl) in g.iter_mut().zip(theta_i.iter()).zip(theta) {
+                *gi += self.cfg.prox * (ti - gl);
+            }
+            fml_linalg::vector::axpy(-self.cfg.lr, &g, &mut theta_i);
+        }
+        theta_i
+    }
+
+    /// Runs FedProx under fault injection with gather-policy protection
+    /// and round-level recovery (see [`crate::ft`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::QuorumLost`] or
+    /// [`crate::CoreError::Diverged`] when recovery is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tasks` is empty or `theta0` has the wrong length.
+    pub fn train_with_faults(
+        &self,
+        model: &dyn Model,
+        tasks: &[SourceTask],
+        theta0: &[f64],
+        ft: &crate::ft::FaultTolerance,
+    ) -> Result<TrainOutput, crate::CoreError> {
+        assert!(!tasks.is_empty(), "FedProx: no source tasks");
+        assert_eq!(
+            theta0.len(),
+            model.param_len(),
+            "FedProx: bad theta0 length"
+        );
+        let cfg = &self.cfg;
+        let spec = crate::ft::FtSpec {
+            name: "FedProx",
+            rounds: cfg.rounds,
+            local_steps: cfg.local_steps,
+            threads: cfg
+                .threads
+                .unwrap_or_else(|| crate::parallel::default_threads(tasks.len())),
+        };
+        crate::ft::run_fault_tolerant(
+            &spec,
+            tasks,
+            theta0,
+            ft,
+            |_, task, theta| self.local_update(model, task, theta, cfg.local_steps),
+            |_, agg| agg,
+            |theta| {
+                (
+                    weighted_meta_loss(model, tasks, theta, cfg.eval_alpha),
+                    weighted_train_loss(model, tasks, theta),
+                )
+            },
+        )
+    }
+
     /// Runs FedProx from an explicit initialization.
     ///
     /// # Panics
@@ -172,6 +244,8 @@ impl FedProx {
                     meta_loss: weighted_meta_loss(model, tasks, &avg, cfg.eval_alpha),
                     train_loss: weighted_train_loss(model, tasks, &avg),
                     aggregated,
+                    reporters: tasks.len(),
+                    degraded: false,
                 });
             }
         }

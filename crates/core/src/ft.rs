@@ -1,0 +1,465 @@
+//! Fault-tolerant federated training: the round loop shared by every
+//! trainer's `train_with_faults` entry point.
+//!
+//! The driver [`run_fault_tolerant`] wraps a trainer's local-update rule
+//! in the full robustness stack:
+//!
+//! 1. each round, the seeded [`FaultPlan`](crate::faults::FaultPlan)
+//!    decides per node whether it crashes, straggles, or corrupts;
+//! 2. surviving reports pass through [`gather`](crate::gather::gather)
+//!    (deadline, validation, quorum, robust aggregation);
+//! 3. the last good global model is snapshotted into an in-memory
+//!    [`Checkpoint`](crate::checkpoint::Checkpoint); on
+//!    [`CoreError::QuorumLost`] or divergence the driver rolls back to it,
+//!    permanently excludes the round's failing nodes, and re-runs the
+//!    round — up to [`FaultTolerance::max_recoveries`] times.
+//!
+//! Determinism: fault draws are pure per `(node, round)`, node updates
+//! run under [`parallel::map_ordered`](crate::parallel::map_ordered), and
+//! recovery decisions depend only on gathered reports — so a fault-
+//! injected run is bitwise identical at any worker thread count.
+
+use crate::checkpoint::Checkpoint;
+use crate::error::CoreError;
+use crate::faults::{self, Fault, FaultPlan};
+use crate::gather::{gather, GatherPolicy, NodeOutcome, Submission};
+use crate::trainer::{RoundRecord, TrainOutput};
+use crate::SourceTask;
+
+/// Fault-tolerance configuration shared by all trainers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTolerance {
+    /// The seeded fault schedule to inject (use a benign plan to run the
+    /// robustness stack against real-world faults only).
+    pub plan: FaultPlan,
+    /// Policy applied at every aggregation point.
+    pub policy: GatherPolicy,
+    /// Rollback-and-exclude recovery attempts allowed across the whole
+    /// run before the terminal error is surfaced.
+    pub max_recoveries: usize,
+}
+
+impl FaultTolerance {
+    /// Fault tolerance with the given plan, default gather policy, and
+    /// two recovery attempts.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultTolerance {
+            plan,
+            policy: GatherPolicy::default(),
+            max_recoveries: 2,
+        }
+    }
+
+    /// Sets the gather policy.
+    pub fn with_policy(mut self, policy: GatherPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the recovery budget.
+    pub fn with_max_recoveries(mut self, n: usize) -> Self {
+        self.max_recoveries = n;
+        self
+    }
+}
+
+/// Everything `run_fault_tolerant` needs from a concrete trainer.
+pub(crate) struct FtSpec<'a> {
+    /// Algorithm name, recorded on the recovery checkpoint.
+    pub name: &'a str,
+    /// Communication rounds.
+    pub rounds: usize,
+    /// Local iterations per round (for iteration accounting).
+    pub local_steps: usize,
+    /// Worker threads for the per-node fan-out.
+    pub threads: usize,
+}
+
+/// Runs the generic fault-tolerant round loop.
+///
+/// * `local(node, task, global) -> update` — the trainer's local rule,
+///   producing the node's report from the current global state. Must be
+///   deterministic in its inputs.
+/// * `combine(global, aggregate) -> new_global` — how the gathered
+///   aggregate becomes the next global state (identity for FedML-style
+///   trainers, interpolation for Reptile).
+/// * `eval(global) -> (meta_loss, train_loss)` — curve metrics.
+///
+/// The returned history has one record per round; `reporters` counts the
+/// nodes whose updates entered that round's aggregate and `degraded`
+/// flags rounds with any fault, exclusion, or rollback.
+pub(crate) fn run_fault_tolerant(
+    spec: &FtSpec<'_>,
+    tasks: &[SourceTask],
+    theta0: &[f64],
+    ft: &FaultTolerance,
+    local: impl Fn(usize, &SourceTask, &[f64]) -> Vec<f64> + Sync,
+    combine: impl Fn(&[f64], Vec<f64>) -> Vec<f64>,
+    eval: impl Fn(&[f64]) -> (f64, f64),
+) -> Result<TrainOutput, CoreError> {
+    assert!(!tasks.is_empty(), "{}: no source tasks", spec.name);
+    let total = tasks.len();
+    let mut theta = theta0.to_vec();
+    let mut snapshot = Checkpoint::new(spec.name, theta.clone()).with_meta("round", "0");
+    let mut active = vec![true; total];
+    let mut last_good: Vec<Option<Vec<f64>>> = vec![None; total];
+    let mut history = Vec::with_capacity(spec.rounds);
+    let mut recoveries = 0usize;
+    let mut round = 1usize;
+    // Rounds that rolled back stay flagged degraded even when the re-run
+    // fleet reports cleanly.
+    let mut recovered_this_round = false;
+
+    while round <= spec.rounds {
+        let submissions = collect_round(spec, tasks, &theta, &active, &last_good, ft, &local, round);
+
+        // Quorum is a fraction of the *active* fleet: excluding failed
+        // nodes during recovery shrinks the requirement, which is what
+        // lets a run finish after a minority of nodes dies.
+        let active_total = active.iter().filter(|&&a| a).count();
+        let gathered = gather(round, active_total, &submissions, &ft.policy);
+        let (aggregated, report) = match gathered {
+            Ok(ok) => ok,
+            Err(failure) => {
+                recover(
+                    spec.name,
+                    &mut theta,
+                    &snapshot,
+                    &mut active,
+                    &failure.report.failed_nodes(),
+                    &mut recoveries,
+                    ft.max_recoveries,
+                    failure.error,
+                )?;
+                recovered_this_round = true;
+                continue; // re-run the same round with the reduced fleet
+            }
+        };
+
+        let next = combine(&theta, aggregated);
+        if next.iter().any(|x| !x.is_finite()) {
+            // The aggregate passed validation but the combined global
+            // diverged (e.g. finite-but-huge reports without clipping).
+            recover(
+                spec.name,
+                &mut theta,
+                &snapshot,
+                &mut active,
+                &report.failed_nodes(),
+                &mut recoveries,
+                ft.max_recoveries,
+                CoreError::Diverged { iteration: round },
+            )?;
+            recovered_this_round = true;
+            continue;
+        }
+        theta = next;
+
+        // Cache each contributor's validated report for ReuseLast.
+        for (sub, &(node, outcome)) in submissions.iter().zip(&report.outcomes) {
+            debug_assert_eq!(sub.node, node);
+            if matches!(outcome, NodeOutcome::Reported | NodeOutcome::Clipped) {
+                last_good[node] = sub.update.clone();
+            }
+        }
+
+        snapshot = Checkpoint::new(spec.name, theta.clone()).with_meta("round", round.to_string());
+        let (meta_loss, train_loss) = eval(&theta);
+        let excluded = active.iter().filter(|&&a| !a).count();
+        history.push(RoundRecord {
+            iteration: round * spec.local_steps,
+            meta_loss,
+            train_loss,
+            aggregated: true,
+            reporters: report.reporters,
+            degraded: report.degraded || recovered_this_round || excluded > 0,
+        });
+        recovered_this_round = false;
+        round += 1;
+    }
+
+    Ok(TrainOutput {
+        params: theta,
+        history,
+        comm_rounds: spec.rounds,
+        local_iterations: spec.rounds * spec.local_steps,
+    })
+}
+
+/// Runs one round of local updates under the fault plan, producing the
+/// submissions for `gather`. Only active (non-excluded) nodes submit.
+///
+/// Fault draws happen *before* the parallel fan-out and are pure per
+/// `(node, round)`, so the submission set is independent of thread count.
+#[allow(clippy::too_many_arguments)]
+fn collect_round(
+    spec: &FtSpec<'_>,
+    tasks: &[SourceTask],
+    theta: &[f64],
+    active: &[bool],
+    last_good: &[Option<Vec<f64>>],
+    ft: &FaultTolerance,
+    local: &(impl Fn(usize, &SourceTask, &[f64]) -> Vec<f64> + Sync),
+    round: usize,
+) -> Vec<Submission> {
+    struct Cell {
+        node: usize,
+        fault: Option<Fault>,
+    }
+    let cells: Vec<Cell> = (0..tasks.len())
+        .filter(|&i| active[i])
+        .map(|i| Cell {
+            node: i,
+            fault: ft.plan.draw(i, round),
+        })
+        .collect();
+
+    let computed: Vec<Option<Vec<f64>>> =
+        crate::parallel::map_ordered(spec.threads, &cells, |_, cell| {
+            // Crashed nodes do no work; everything else reports something.
+            if matches!(cell.fault, Some(Fault::Crash)) {
+                None
+            } else {
+                Some(local(cell.node, &tasks[cell.node], theta))
+            }
+        });
+
+    cells
+        .iter()
+        .zip(computed)
+        .map(|(cell, update)| {
+            let weight = tasks[cell.node].weight;
+            let mut sub = match update {
+                None => Submission::crashed(cell.node, weight),
+                Some(mut u) => {
+                    if let Some(Fault::Corrupt(mode)) = cell.fault {
+                        faults::corrupt(mode, &mut u);
+                    }
+                    Submission::on_time(cell.node, weight, u)
+                }
+            };
+            if let Some(Fault::Straggle { delay_s }) = cell.fault {
+                sub.delay_s = delay_s;
+            }
+            sub.last_good = last_good[cell.node].clone();
+            sub
+        })
+        .collect()
+}
+
+/// Rolls the global model back to the last good snapshot and excludes the
+/// failing nodes, or surfaces the terminal error when recovery is
+/// impossible (budget exhausted, nothing to exclude, or no fleet left).
+#[allow(clippy::too_many_arguments)]
+fn recover(
+    name: &str,
+    theta: &mut Vec<f64>,
+    snapshot: &Checkpoint,
+    active: &mut [bool],
+    failed: &[usize],
+    recoveries: &mut usize,
+    max_recoveries: usize,
+    error: CoreError,
+) -> Result<(), CoreError> {
+    if *recoveries >= max_recoveries {
+        return Err(error);
+    }
+    let newly_failed: Vec<usize> = failed.iter().copied().filter(|&n| active[n]).collect();
+    if newly_failed.is_empty() {
+        // Nothing to exclude: a deterministic retry would fail the same
+        // way, so surface the error instead of looping.
+        return Err(error);
+    }
+    let remaining = active.iter().filter(|&&a| a).count() - newly_failed.len();
+    if remaining == 0 {
+        return Err(error);
+    }
+    for &n in &newly_failed {
+        active[n] = false;
+    }
+    debug_assert_eq!(snapshot.algorithm, name);
+    theta.clone_from(&snapshot.params);
+    *recoveries += 1;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::CorruptMode;
+    use fml_data::NodeData;
+    use fml_linalg::Matrix;
+    use fml_models::{Batch, Quadratic};
+
+    fn quad_tasks(n: usize) -> Vec<SourceTask> {
+        let nodes: Vec<NodeData> = (0..n)
+            .map(|id| {
+                let c = if id % 2 == 0 { 1.0 } else { -1.0 };
+                let rows: Vec<Vec<f64>> = (0..4).map(|_| vec![c, 0.0]).collect();
+                let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+                NodeData {
+                    id,
+                    batch: Batch::regression(Matrix::from_rows(&refs).unwrap(), vec![0.0; 4])
+                        .unwrap(),
+                }
+            })
+            .collect();
+        SourceTask::from_nodes_deterministic(&nodes, 2)
+    }
+
+    fn spec(rounds: usize, threads: usize) -> FtSpec<'static> {
+        FtSpec {
+            name: "test",
+            rounds,
+            local_steps: 3,
+            threads,
+        }
+    }
+
+    fn run(
+        tasks: &[SourceTask],
+        ft: &FaultTolerance,
+        rounds: usize,
+        threads: usize,
+    ) -> Result<TrainOutput, CoreError> {
+        let model = Quadratic::isotropic(2, 1.0);
+        run_fault_tolerant(
+            &spec(rounds, threads),
+            tasks,
+            &[2.0, -2.0],
+            ft,
+            |_, task, theta| {
+                let mut t = theta.to_vec();
+                for _ in 0..3 {
+                    let g = fml_models::Model::grad(&model, &t, &task.split.train);
+                    fml_linalg::vector::axpy(-0.1, &g, &mut t);
+                }
+                t
+            },
+            |_, agg| agg,
+            |theta| {
+                let m = crate::trainer::weighted_meta_loss(&model, tasks, theta, 0.05);
+                let t = crate::trainer::weighted_train_loss(&model, tasks, theta);
+                (m, t)
+            },
+        )
+    }
+
+    #[test]
+    fn benign_plan_reports_everyone() {
+        let tasks = quad_tasks(4);
+        let ft = FaultTolerance::new(FaultPlan::new(1));
+        let out = run(&tasks, &ft, 5, 2).unwrap();
+        assert_eq!(out.history.len(), 5);
+        assert!(out.history.iter().all(|r| r.reporters == 4 && !r.degraded));
+        assert_eq!(out.local_iterations, 15);
+    }
+
+    #[test]
+    fn minority_crash_still_finishes() {
+        let tasks = quad_tasks(6);
+        let plan = FaultPlan::new(2).with_crash_from(0, 2).with_crash_from(3, 2);
+        let ft = FaultTolerance::new(plan);
+        let out = run(&tasks, &ft, 6, 2).unwrap();
+        assert_eq!(out.history.len(), 6);
+        assert!(!out.history[0].degraded);
+        for r in &out.history[1..] {
+            assert_eq!(r.reporters, 4);
+            assert!(r.degraded);
+        }
+        assert!(out.params.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn corrupt_update_is_rejected_and_round_degraded() {
+        let tasks = quad_tasks(4);
+        let plan = FaultPlan::new(3).with_corrupt(1, 2, CorruptMode::NaN);
+        let ft = FaultTolerance::new(plan);
+        let out = run(&tasks, &ft, 4, 1).unwrap();
+        assert_eq!(out.history[1].reporters, 3);
+        assert!(out.history[1].degraded);
+        assert!(out.params.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn quorum_loss_recovers_by_exclusion() {
+        let tasks = quad_tasks(4);
+        // Three of four nodes die at round 2: 1 reporter < required 2 →
+        // QuorumLost → exclude the dead, re-run round 2 against the
+        // 1-node fleet (required shrinks to 1) and finish.
+        let plan = FaultPlan::new(4)
+            .with_crash_from(0, 2)
+            .with_crash_from(1, 2)
+            .with_crash_from(2, 2);
+        let ft = FaultTolerance::new(plan);
+        let out = run(&tasks, &ft, 5, 2).unwrap();
+        assert_eq!(out.history.len(), 5);
+        assert!(!out.history[0].degraded);
+        for r in &out.history[1..] {
+            assert_eq!(r.reporters, 1);
+            assert!(r.degraded);
+        }
+    }
+
+    #[test]
+    fn quorum_loss_surfaces_when_unrecoverable() {
+        let tasks = quad_tasks(4);
+        // All four crash from round 3: no exclusion can restore quorum.
+        let plan = FaultPlan::new(5)
+            .with_crash_from(0, 3)
+            .with_crash_from(1, 3)
+            .with_crash_from(2, 3)
+            .with_crash_from(3, 3);
+        let ft = FaultTolerance::new(plan);
+        let err = run(&tasks, &ft, 5, 1).unwrap_err();
+        assert!(matches!(err, CoreError::QuorumLost { round: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn recovery_rolls_back_and_excludes() {
+        let tasks = quad_tasks(5);
+        // Round 2: nodes 0 and 1 die and node 2 uploads NaNs, leaving 2
+        // clean reporters < required ceil(0.5·5) = 3 → QuorumLost.
+        // Recovery excludes {0, 1, 2}; the 2-node fleet needs only 1.
+        let mut plan = FaultPlan::new(6).with_crash_from(0, 2).with_crash_from(1, 2);
+        for round in 2..=8 {
+            plan = plan.with_corrupt(2, round, CorruptMode::NaN);
+        }
+        let ft = FaultTolerance::new(plan).with_max_recoveries(2);
+        let out = run(&tasks, &ft, 8, 2).unwrap();
+        assert_eq!(out.history.len(), 8);
+        assert!(out.history[1..].iter().all(|r| r.reporters == 2 && r.degraded));
+        assert!(out.params.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn recovery_exhaustion_surfaces_error() {
+        let tasks = quad_tasks(4);
+        // Every node dies at round 2; with zero recoveries allowed the
+        // quorum error must surface directly.
+        let plan = FaultPlan::new(7)
+            .with_crash_from(0, 2)
+            .with_crash_from(1, 2)
+            .with_crash_from(2, 2)
+            .with_crash_from(3, 2);
+        let ft = FaultTolerance::new(plan).with_max_recoveries(0);
+        let err = run(&tasks, &ft, 4, 1).unwrap_err();
+        assert!(matches!(err, CoreError::QuorumLost { round: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_history() {
+        let tasks = quad_tasks(6);
+        let plan = FaultPlan::new(8)
+            .with_crash_prob(0.15)
+            .with_straggle_prob(0.2, 4.0)
+            .with_corrupt_prob(0.1, CorruptMode::NaN);
+        let policy = GatherPolicy::default()
+            .with_deadline(2.0)
+            .with_min_quorum(0.3);
+        let ft = FaultTolerance::new(plan).with_policy(policy);
+        let a = run(&tasks, &ft, 8, 1).unwrap();
+        let b = run(&tasks, &ft, 8, 4).unwrap();
+        assert_eq!(a, b);
+    }
+}

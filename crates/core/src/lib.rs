@@ -51,9 +51,12 @@
 pub mod adapt;
 pub mod checkpoint;
 mod error;
+pub mod faults;
 mod fedavg;
 mod fedml;
 mod fedprox;
+pub mod ft;
+pub mod gather;
 pub mod meta;
 mod metasgd;
 pub mod metrics;
@@ -67,7 +70,10 @@ pub mod theory;
 mod trainer;
 
 pub use error::CoreError;
+pub use faults::{CorruptMode, Fault, FaultPlan};
 pub use fedavg::{FedAvg, FedAvgConfig};
+pub use ft::FaultTolerance;
+pub use gather::{GatherPolicy, RobustAggregator, StragglerPolicy, UpdateValidation};
 pub use fedml::{FedMl, FedMlConfig};
 pub use fedprox::{FedProx, FedProxConfig};
 pub use meta::MetaGradientMode;

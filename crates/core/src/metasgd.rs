@@ -189,6 +189,87 @@ impl MetaSgd {
         }
     }
 
+    /// Runs Meta-SGD under fault injection with gather-policy protection
+    /// and round-level recovery (see [`crate::ft`]).
+    ///
+    /// The node state `(θ_i, a_i)` travels through the fault-tolerant
+    /// driver as one concatenated vector `[θ_i; a_i]`, so validation,
+    /// clipping, quorum, and robust aggregation treat the learned rates
+    /// exactly like the initialization. Unlike
+    /// [`train_from`](Self::train_from) (which lets local state persist
+    /// between aggregations), every round restarts from the gathered
+    /// global pair — the synchronous-round structure fault recovery
+    /// requires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::QuorumLost`] or
+    /// [`crate::CoreError::Diverged`] when recovery is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tasks` is empty or `theta0` has the wrong length.
+    pub fn train_with_faults(
+        &self,
+        model: &dyn Model,
+        tasks: &[SourceTask],
+        theta0: &[f64],
+        ft: &crate::ft::FaultTolerance,
+    ) -> Result<MetaSgdOutput, crate::CoreError> {
+        assert!(!tasks.is_empty(), "MetaSgd: no source tasks");
+        assert_eq!(
+            theta0.len(),
+            model.param_len(),
+            "MetaSgd: bad theta0 length"
+        );
+        let cfg = &self.cfg;
+        let d = theta0.len();
+        let mut state0 = theta0.to_vec();
+        state0.extend(std::iter::repeat_n(cfg.alpha_init, d));
+        let spec = crate::ft::FtSpec {
+            name: "MetaSGD",
+            rounds: cfg.rounds,
+            local_steps: cfg.local_steps,
+            threads: cfg
+                .threads
+                .unwrap_or_else(|| crate::parallel::default_threads(tasks.len())),
+        };
+        let mut train = crate::ft::run_fault_tolerant(
+            &spec,
+            tasks,
+            &state0,
+            ft,
+            |_, task, state| {
+                let (theta, rates) = state.split_at(d);
+                let mut theta_i = theta.to_vec();
+                let mut rates_i = rates.to_vec();
+                for _ in 0..cfg.local_steps {
+                    self.local_step(model, task, &mut theta_i, &mut rates_i);
+                }
+                theta_i.extend(rates_i);
+                theta_i
+            },
+            |_, agg| agg,
+            |state| {
+                let (theta, rates) = state.split_at(d);
+                let meta_loss = tasks
+                    .iter()
+                    .map(|task| {
+                        let g = model.grad(theta, &task.split.train);
+                        let mut phi = theta.to_vec();
+                        for ((p, &gi), &ai) in phi.iter_mut().zip(&g).zip(rates) {
+                            *p -= ai * gi;
+                        }
+                        task.weight * model.loss(&phi, &task.split.test)
+                    })
+                    .sum();
+                (meta_loss, weighted_train_loss(model, tasks, theta))
+            },
+        )?;
+        let rates = train.params.split_off(d);
+        Ok(MetaSgdOutput { train, rates })
+    }
+
     /// Runs Meta-SGD from an explicit initialization.
     ///
     /// # Panics
@@ -259,6 +340,8 @@ impl MetaSgd {
                     meta_loss,
                     train_loss: weighted_train_loss(model, tasks, &avg_t),
                     aggregated,
+                    reporters: tasks.len(),
+                    degraded: false,
                 });
             }
         }

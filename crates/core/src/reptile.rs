@@ -106,6 +106,84 @@ impl Reptile {
         &self.cfg
     }
 
+    /// Runs `steps` of the inner SGD trajectory for a single node from
+    /// `theta` on its full local batch, returning the adapted `φ_i`.
+    pub fn local_update(
+        &self,
+        model: &dyn Model,
+        task: &SourceTask,
+        theta: &[f64],
+        steps: usize,
+    ) -> Vec<f64> {
+        let full = task.split.train.concat(&task.split.test);
+        let mut phi = theta.to_vec();
+        for _ in 0..steps {
+            let g = model.grad(&phi, &full);
+            fml_linalg::vector::axpy(-self.cfg.inner_lr, &g, &mut phi);
+        }
+        phi
+    }
+
+    /// Runs Reptile under fault injection with gather-policy protection
+    /// and round-level recovery (see [`crate::ft`]).
+    ///
+    /// The gathered aggregate is the weighted mean `φ̄` of the surviving
+    /// adapted models; the outer interpolation `θ ← θ + ε(φ̄ − θ)` is the
+    /// combine step, so a degraded round still moves the global model a
+    /// bounded distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::QuorumLost`] or
+    /// [`crate::CoreError::Diverged`] when recovery is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tasks` is empty or `theta0` has the wrong length.
+    pub fn train_with_faults(
+        &self,
+        model: &dyn Model,
+        tasks: &[SourceTask],
+        theta0: &[f64],
+        ft: &crate::ft::FaultTolerance,
+    ) -> Result<TrainOutput, crate::CoreError> {
+        assert!(!tasks.is_empty(), "Reptile: no source tasks");
+        assert_eq!(
+            theta0.len(),
+            model.param_len(),
+            "Reptile: bad theta0 length"
+        );
+        let cfg = &self.cfg;
+        let spec = crate::ft::FtSpec {
+            name: "Reptile",
+            rounds: cfg.rounds,
+            local_steps: cfg.inner_steps,
+            threads: cfg
+                .threads
+                .unwrap_or_else(|| crate::parallel::default_threads(tasks.len())),
+        };
+        crate::ft::run_fault_tolerant(
+            &spec,
+            tasks,
+            theta0,
+            ft,
+            |_, task, theta| self.local_update(model, task, theta, cfg.inner_steps),
+            |theta, mean_phi| {
+                theta
+                    .iter()
+                    .zip(&mean_phi)
+                    .map(|(t, m)| t + cfg.outer_lr * (m - t))
+                    .collect()
+            },
+            |theta| {
+                (
+                    weighted_meta_loss(model, tasks, theta, cfg.eval_alpha),
+                    weighted_train_loss(model, tasks, theta),
+                )
+            },
+        )
+    }
+
     /// Runs Reptile from an explicit initialization.
     ///
     /// # Panics
@@ -154,6 +232,8 @@ impl Reptile {
                 meta_loss: weighted_meta_loss(model, tasks, &theta, cfg.eval_alpha),
                 train_loss: weighted_train_loss(model, tasks, &theta),
                 aggregated: true,
+                reporters: tasks.len(),
+                degraded: false,
             });
         }
 

@@ -251,6 +251,8 @@ impl RobustFedMl {
                     meta_loss: weighted_meta_loss(model, tasks, &avg, cfg.alpha),
                     train_loss: weighted_train_loss(model, tasks, &avg),
                     aggregated,
+                    reporters: tasks.len(),
+                    degraded: false,
                 });
             }
         }

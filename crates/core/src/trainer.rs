@@ -17,6 +17,16 @@ pub struct RoundRecord {
     pub train_loss: f64,
     /// Whether a global aggregation happened at this iteration.
     pub aggregated: bool,
+    /// Nodes whose updates actually entered the aggregate this round.
+    /// Equals the task count on fault-free rounds; absent in records
+    /// serialized before fault tolerance existed, defaulting to `0`.
+    #[serde(default)]
+    pub reporters: usize,
+    /// Whether this round was degraded — nodes crashed, straggled past
+    /// the deadline, were rejected as corrupt, or a rollback re-ran the
+    /// round with a reduced fleet.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// The result of federated training.
@@ -164,12 +174,16 @@ mod tests {
                     meta_loss: 1.0,
                     train_loss: 1.5,
                     aggregated: false,
+                    reporters: 1,
+                    degraded: false,
                 },
                 RoundRecord {
                     iteration: 2,
                     meta_loss: 0.5,
                     train_loss: 1.0,
                     aggregated: true,
+                    reporters: 1,
+                    degraded: true,
                 },
             ],
             comm_rounds: 1,
@@ -183,5 +197,16 @@ mod tests {
     #[should_panic(expected = "node count mismatch")]
     fn aggregate_rejects_mismatch() {
         aggregate(&quad_tasks(), &[vec![0.0, 0.0]]);
+    }
+
+    #[test]
+    fn round_record_reads_pre_fault_tolerance_json() {
+        // Records serialized before the reporters/degraded fields existed
+        // must still deserialize (serde defaults).
+        let old = r#"{"iteration":3,"meta_loss":0.5,"train_loss":1.0,"aggregated":true}"#;
+        let r: RoundRecord = serde_json::from_str(old).unwrap();
+        assert_eq!(r.iteration, 3);
+        assert_eq!(r.reporters, 0);
+        assert!(!r.degraded);
     }
 }

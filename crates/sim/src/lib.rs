@@ -31,7 +31,7 @@ pub mod trace;
 pub use adaptive::{run_adaptive_fedml, AdaptiveOutput, AdaptiveT0Config};
 pub use energy::{EnergyModel, EnergyStats};
 pub use message::Message;
-pub use network::{LinkModel, Network};
-pub use runner::{EdgeProfile, SimConfig, SimOutput, SimRunner};
+pub use network::{LinkModel, Network, IDEAL_BANDWIDTH_BPS};
+pub use runner::{EdgeProfile, SimConfig, SimOutput, SimRunner, DERIVED_DEADLINE_HEADROOM};
 pub use stats::{CommStats, ComputeStats};
 pub use trace::{RoundTrace, TraceLog};

@@ -134,15 +134,30 @@ impl Message {
             return Err(DecodeError::Truncated);
         }
         let tag = frame.get_u8();
+        // Reject unknown tags before trusting any other header field: an
+        // adversarial frame should do no work (and no allocation) beyond
+        // the header read.
+        if tag != TAG_GLOBAL && tag != TAG_UPDATE {
+            return Err(DecodeError::UnknownTag(tag));
+        }
         let round = frame.get_u32_le();
         let node = frame.get_u32_le();
         let len = frame.get_u32_le() as usize;
-        if frame.len() != 8 * len {
-            return Err(DecodeError::LengthMismatch {
-                expected: 8 * len,
-                actual: frame.len(),
-            });
+        // Overflow-safe payload check: `8 * len` can wrap on 32-bit
+        // targets where `len` comes from an attacker-controlled u32, so
+        // compute the expected byte count in checked arithmetic and treat
+        // overflow as a mismatch.
+        match 8usize.checked_mul(len) {
+            Some(expected) if expected == frame.len() => {}
+            expected => {
+                return Err(DecodeError::LengthMismatch {
+                    expected: expected.unwrap_or(usize::MAX),
+                    actual: frame.len(),
+                })
+            }
         }
+        // `len` is now bounded by the actual buffer length, so this
+        // allocation cannot exceed the frame's own size.
         let mut params = Vec::with_capacity(len);
         for _ in 0..len {
             params.push(frame.get_f64_le());
@@ -154,7 +169,7 @@ impl Message {
                 node,
                 params,
             }),
-            t => Err(DecodeError::UnknownTag(t)),
+            t => unreachable!("tag {t} validated above"),
         }
     }
 }
@@ -244,6 +259,39 @@ mod tests {
         assert!(DecodeError::UnknownTag(7).to_string().contains('7'));
     }
 
+    #[test]
+    fn decode_error_is_std_error() {
+        // Same contract as CoreError and CheckpointError: usable behind
+        // Box<dyn Error> with leaf variants reporting no source.
+        let e: Box<dyn std::error::Error> = Box::new(DecodeError::UnknownTag(3));
+        assert!(e.source().is_none());
+        assert!(!e.to_string().is_empty());
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DecodeError>();
+    }
+
+    #[test]
+    fn unknown_tag_wins_over_bad_length() {
+        // An unknown tag is rejected before the length field is trusted.
+        let mut frame = vec![77u8];
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Message::decode(&frame), Err(DecodeError::UnknownTag(77)));
+    }
+
+    #[test]
+    fn huge_length_field_rejected_without_allocation() {
+        let mut frame = vec![TAG_GLOBAL];
+        frame.extend_from_slice(&1u32.to_le_bytes());
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(DecodeError::LengthMismatch { .. })
+        ));
+    }
+
     proptest! {
         #[test]
         fn prop_roundtrip_arbitrary(
@@ -261,6 +309,33 @@ mod tests {
         ) {
             let m = Message::GlobalModel { round: 1, params };
             prop_assert_eq!(m.encode().len(), m.encoded_len());
+        }
+
+        #[test]
+        fn prop_decode_never_panics_on_random_bytes(
+            frame in proptest::collection::vec(0u8..=255, 0..256),
+        ) {
+            // Adversarial input: any byte string must decode or error,
+            // never panic or over-allocate.
+            let _ = Message::decode(&frame);
+        }
+
+        #[test]
+        fn prop_decode_never_panics_on_mangled_header(
+            tag in 0u8..=255,
+            len_field in 0u32..u32::MAX,
+            body in proptest::collection::vec(0u8..=255, 0..64),
+        ) {
+            // Worst case: a header that lies about the payload length.
+            let mut frame = vec![tag];
+            frame.extend_from_slice(&1u32.to_le_bytes());
+            frame.extend_from_slice(&2u32.to_le_bytes());
+            frame.extend_from_slice(&len_field.to_le_bytes());
+            frame.extend_from_slice(&body);
+            let decoded = Message::decode(&frame);
+            if 8 * (len_field as u64) != body.len() as u64 {
+                prop_assert!(decoded.is_err(), "lying length must be rejected");
+            }
         }
     }
 }

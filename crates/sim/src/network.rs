@@ -8,6 +8,15 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Bandwidth of [`LinkModel::ideal`] in bytes per second.
+///
+/// A finite stand-in for "free": at 10^18 B/s even a 1 GB transfer costs
+/// 10^-9 s — below every latency or deadline the simulator reasons about —
+/// yet products like `attempt_time × attempts` stay comfortably finite
+/// (an `f64::MAX`-scale sentinel would overflow to `inf` under such
+/// arithmetic and corrupt wall-clock totals).
+pub const IDEAL_BANDWIDTH_BPS: f64 = 1e18;
+
 /// A point-to-point link: bandwidth, propagation latency, and independent
 /// per-transfer loss probability (lost transfers are retransmitted until
 /// they succeed and every attempt is charged).
@@ -53,8 +62,15 @@ impl LinkModel {
     }
 
     /// An ideal link (for isolating computation effects).
+    ///
+    /// Uses [`IDEAL_BANDWIDTH_BPS`] rather than an `f64::MAX`-derived
+    /// sentinel: arithmetic on near-MAX values (e.g. multiplying an
+    /// attempt count into the transfer time) can overflow to infinity and
+    /// poison downstream wall-clock sums, whereas 10^18 B/s keeps every
+    /// realistic transfer below a nanosecond while staying safely inside
+    /// finite arithmetic.
     pub fn ideal() -> Self {
-        LinkModel::new(f64::MAX / 4.0, 0.0, 0.0)
+        LinkModel::new(IDEAL_BANDWIDTH_BPS, 0.0, 0.0)
     }
 
     /// Time for one *successful* transfer attempt of `bytes`.
@@ -187,6 +203,39 @@ mod tests {
         let t = net.send_down(1 << 20, &mut rng);
         assert!(t.time_s < 1e-9);
         assert_eq!(t.retransmissions, 0);
+    }
+
+    #[test]
+    fn ideal_bandwidth_is_finite_under_arithmetic() {
+        let l = LinkModel::ideal();
+        assert!(l.bandwidth_bps.is_finite());
+        // The failure mode of the old f64::MAX-based sentinel: scaling an
+        // attempt time by a retransmission count must stay finite.
+        let worst = l.attempt_time(usize::MAX) * 64.0;
+        assert!(worst.is_finite());
+        assert!(l.attempt_time(1 << 30) < 1e-8, "1 GB is still 'free'");
+    }
+
+    #[test]
+    fn retransmission_count_matches_geometric_closed_form() {
+        // Attempts repeat while a uniform draw falls below drop_prob, so
+        // the retransmission count is geometric with success probability
+        // (1 − p): E[retx] = p / (1 − p). The 64-attempt cap is
+        // negligible at moderate p (P[retx ≥ 64] = p^64 ≈ 1e-39 here).
+        let p = 0.25;
+        let link = LinkModel::new(1e6, 0.0, p);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 40_000;
+        let total: u64 = (0..n)
+            .map(|_| simulate(link, 64, &mut rng).retransmissions as u64)
+            .sum();
+        let mean = total as f64 / n as f64;
+        let expected = p / (1.0 - p);
+        // Var[retx] = p/(1−p)² ⇒ σ ≈ 0.667, SE ≈ 0.0033; ±0.02 is ~6 SE.
+        assert!(
+            (mean - expected).abs() < 0.02,
+            "mean retransmissions {mean} vs geometric expectation {expected}"
+        );
     }
 
     #[test]

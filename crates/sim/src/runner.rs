@@ -18,7 +18,9 @@
 //! critical path (max over participants) is what accrues to simulated
 //! wall-clock time, matching how stragglers hurt real federated systems.
 
-use fml_core::{FedAvg, FedMl, SourceTask};
+use fml_core::faults::{self, Fault};
+use fml_core::gather::{gather, NodeOutcome, Submission};
+use fml_core::{FaultTolerance, FedAvg, FedMl, SourceTask};
 use fml_models::Model;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -201,6 +203,12 @@ struct OracleProfile {
 /// `(task, start parameters, steps) -> updated parameters`.
 type LocalUpdateFn<'a> = dyn Fn(&SourceTask, &[f64], usize) -> Vec<f64> + Sync + 'a;
 
+/// Headroom multiplier applied to the nominal fault-free round time when
+/// deriving a gather deadline from the link model (used when the policy's
+/// `deadline_s` is `None`). Gives slow-but-honest nodes room for a few
+/// retransmissions before they count as stragglers.
+pub const DERIVED_DEADLINE_HEADROOM: f64 = 4.0;
+
 /// The round-based executor.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimRunner {
@@ -273,6 +281,288 @@ impl SimRunner {
             &|task, theta, steps| fedavg.local_update(model, task, theta, steps),
             rng,
         )
+    }
+
+    /// Simulates FedML under a seeded [`FaultPlan`](fml_core::FaultPlan)
+    /// with gather-policy protection: round deadlines (explicit, or
+    /// derived from the link model — see
+    /// [`DERIVED_DEADLINE_HEADROOM`]), straggler handling, update
+    /// validation, and a minimum quorum.
+    ///
+    /// Unlike the in-memory trainers' `train_with_faults`, the simulator
+    /// does **not** roll back on quorum loss: a failed gather skips
+    /// aggregation for the round (the global model is carried forward
+    /// unchanged) and the round is flagged `degraded` in the trace. This
+    /// models a platform that waits for the fleet to come back rather
+    /// than rewriting history; the rollback-and-exclude strategy lives in
+    /// `fml_core::ft`.
+    pub fn run_fedml_with_faults(
+        &self,
+        fedml: &FedMl,
+        model: &dyn Model,
+        tasks: &[SourceTask],
+        theta0: &[f64],
+        ft: &FaultTolerance,
+        rng: &mut StdRng,
+    ) -> SimOutput {
+        let t0 = fedml.config().local_steps;
+        let rounds = fedml.config().rounds;
+        let alpha = fedml.config().alpha;
+        let profile = OracleProfile { grads: 2, hvps: 1 };
+        self.run_faulty(
+            model,
+            tasks,
+            theta0,
+            rounds,
+            t0,
+            alpha,
+            profile,
+            ft,
+            &|task, theta, steps| fedml.local_update(model, task, theta, steps),
+            rng,
+        )
+    }
+
+    /// Simulates FedAvg under a seeded fault plan; see
+    /// [`SimRunner::run_fedml_with_faults`] for the semantics.
+    pub fn run_fedavg_with_faults(
+        &self,
+        fedavg: &FedAvg,
+        model: &dyn Model,
+        tasks: &[SourceTask],
+        theta0: &[f64],
+        ft: &FaultTolerance,
+        rng: &mut StdRng,
+    ) -> SimOutput {
+        let t0 = fedavg.config().local_steps;
+        let rounds = fedavg.config().rounds;
+        let alpha = fedavg.config().eval_alpha;
+        let profile = OracleProfile { grads: 1, hvps: 0 };
+        self.run_faulty(
+            model,
+            tasks,
+            theta0,
+            rounds,
+            t0,
+            alpha,
+            profile,
+            ft,
+            &|task, theta, steps| fedavg.local_update(model, task, theta, steps),
+            rng,
+        )
+    }
+
+    /// Deadline derived from the nominal fault-free round time (local
+    /// compute plus one downlink and one uplink attempt) scaled by
+    /// [`DERIVED_DEADLINE_HEADROOM`]. `None` when the nominal time is
+    /// zero (ideal network, free compute) — there is no meaningful clock
+    /// to measure stragglers against, so every report counts as on time.
+    fn derived_deadline(&self, t0: usize, frame_len: usize) -> Option<f64> {
+        let cfg = &self.cfg;
+        let nominal = cfg.iteration_time_s * t0 as f64
+            + cfg.network.downlink.attempt_time(frame_len)
+            + cfg.network.uplink.attempt_time(frame_len);
+        (nominal > 0.0).then_some(DERIVED_DEADLINE_HEADROOM * nominal)
+    }
+
+    /// The fault-injected round loop shared by
+    /// [`SimRunner::run_fedml_with_faults`] and
+    /// [`SimRunner::run_fedavg_with_faults`].
+    ///
+    /// The whole fleet participates every round (faults, not sampling,
+    /// decide who reports); client sampling, dropout, and wait-fraction
+    /// settings from [`SimConfig`] are ignored on this path. Each node's
+    /// report delay is its simulated compute time + downlink + uplink
+    /// transfer (including retransmissions) + any injected straggle
+    /// delay, judged against the gather deadline. Crashed devices are
+    /// dark for the round: no broadcast charge, no compute, no upload.
+    /// Corrupt devices pay full price — their garbage crosses the wire
+    /// and is rejected at the platform by update validation.
+    #[allow(clippy::too_many_arguments)]
+    fn run_faulty(
+        &self,
+        model: &dyn Model,
+        tasks: &[SourceTask],
+        theta0: &[f64],
+        rounds: usize,
+        t0: usize,
+        eval_alpha: f64,
+        profile: OracleProfile,
+        ft: &FaultTolerance,
+        local: &LocalUpdateFn<'_>,
+        rng: &mut StdRng,
+    ) -> SimOutput {
+        assert!(!tasks.is_empty(), "SimRunner: no source tasks");
+        assert_eq!(theta0.len(), model.param_len(), "SimRunner: bad theta0");
+        let cfg = &self.cfg;
+        let n = tasks.len();
+        let straggler_count = (cfg.straggler_frac * n as f64).round() as usize;
+        let profiles: Vec<EdgeProfile> = (0..n)
+            .map(|i| EdgeProfile {
+                speed: if i < straggler_count {
+                    cfg.straggler_speed
+                } else {
+                    1.0
+                },
+            })
+            .collect();
+
+        // Frame size is fixed by the model dimension, so the derived
+        // deadline is one number for the whole run.
+        let frame_len = Message::GlobalModel {
+            round: 1,
+            params: theta0.to_vec(),
+        }
+        .encoded_len();
+        let mut policy = ft.policy;
+        if policy.deadline_s.is_none() {
+            policy.deadline_s = self.derived_deadline(t0, frame_len);
+        }
+
+        let mut global = theta0.to_vec();
+        let mut comm = CommStats::default();
+        let mut compute = ComputeStats::default();
+        let mut participants_per_round = Vec::with_capacity(rounds);
+        let mut history = Vec::with_capacity(rounds);
+        let mut trace = TraceLog::new();
+        let mut last_good: Vec<Option<Vec<f64>>> = vec![None; n];
+
+        for round in 1..=rounds {
+            let bytes_before = comm.bytes_up + comm.bytes_down;
+            let retx_before = comm.retransmissions;
+            let comm_time_before = comm.time_s;
+
+            // Fault draws are pure per (node, round): same schedule at
+            // any thread count. All network randomness below runs
+            // sequentially on this thread in node order.
+            let drawn: Vec<Option<Fault>> = (0..n).map(|i| ft.plan.draw(i, round)).collect();
+            let participants: Vec<usize> = (0..n)
+                .filter(|&i| !matches!(drawn[i], Some(Fault::Crash)))
+                .collect();
+            participants_per_round.push(participants.len());
+
+            // --- downlink broadcast to the live fleet ---
+            let broadcast = Message::GlobalModel {
+                round: round as u32,
+                params: global.clone(),
+            };
+            let frame = broadcast.encode();
+            let mut down_time = 0.0f64;
+            let mut node_delay = vec![0.0f64; participants.len()];
+            for delay in &mut node_delay {
+                let t = cfg.network.send_down(frame.len(), rng);
+                comm.bytes_down += frame.len() as u64;
+                comm.wire_bytes += t.wire_bytes as u64;
+                comm.retransmissions += t.retransmissions as u64;
+                comm.messages += 1;
+                down_time = down_time.max(t.time_s);
+                *delay += t.time_s;
+            }
+
+            // --- parallel local updates on surviving nodes ---
+            let decoded = Message::decode(&frame).expect("self-encoded frame");
+            let start_params = decoded.params().to_vec();
+            let mut updated =
+                parallel_local_updates(cfg.threads, &participants, tasks, &start_params, t0, local);
+
+            let mut round_compute = 0.0f64;
+            for (slot, &i) in participants.iter().enumerate() {
+                let node_time = cfg.iteration_time_s * t0 as f64 / profiles[i].speed;
+                round_compute = round_compute.max(node_time);
+                node_delay[slot] += node_time;
+                compute.grad_evals += profile.grads * t0 as u64;
+                compute.hvp_evals += profile.hvps * t0 as u64;
+                compute.local_iterations += t0 as u64;
+            }
+            compute.time_s += round_compute;
+
+            // Faults mangle the *uploaded* report, after local compute.
+            for (slot, &i) in participants.iter().enumerate() {
+                match drawn[i] {
+                    Some(Fault::Corrupt(mode)) => faults::corrupt(mode, &mut updated[slot]),
+                    Some(Fault::Straggle { delay_s }) => node_delay[slot] += delay_s,
+                    _ => {}
+                }
+            }
+
+            // --- uplink: every live node uploads, garbage included ---
+            let mut up_time = 0.0f64;
+            let mut frames = Vec::with_capacity(participants.len());
+            for (slot, &i) in participants.iter().enumerate() {
+                let msg = Message::ModelUpdate {
+                    round: round as u32,
+                    node: tasks[i].id as u32,
+                    params: updated[slot].clone(),
+                };
+                let f = msg.encode();
+                let t = cfg.network.send_up(f.len(), rng);
+                comm.bytes_up += f.len() as u64;
+                comm.wire_bytes += t.wire_bytes as u64;
+                comm.retransmissions += t.retransmissions as u64;
+                comm.messages += 1;
+                up_time = up_time.max(t.time_s);
+                node_delay[slot] += t.time_s;
+                frames.push(f);
+            }
+            comm.time_s += down_time + up_time;
+
+            // --- platform gathers the whole fleet under the policy ---
+            let mut submissions = Vec::with_capacity(n);
+            let mut slot = 0usize;
+            for (i, fault) in drawn.iter().enumerate() {
+                let weight = tasks[i].weight;
+                let mut sub = if matches!(fault, Some(Fault::Crash)) {
+                    Submission::crashed(i, weight)
+                } else {
+                    let msg = Message::decode(&frames[slot]).expect("self-encoded frame");
+                    let mut s = Submission::on_time(i, weight, msg.params().to_vec());
+                    s.delay_s = node_delay[slot];
+                    slot += 1;
+                    s
+                };
+                sub.last_good = last_good[i].clone();
+                submissions.push(sub);
+            }
+
+            let (reporters, degraded) = match gather(round, n, &submissions, &policy) {
+                Ok((params, report)) => {
+                    global = params;
+                    for (sub, &(node, outcome)) in submissions.iter().zip(&report.outcomes) {
+                        if matches!(outcome, NodeOutcome::Reported | NodeOutcome::Clipped) {
+                            last_good[node] = sub.update.clone();
+                        }
+                    }
+                    (report.reporters, report.degraded)
+                }
+                // Quorum lost: skip aggregation, carry the global model
+                // forward unchanged, and flag the round.
+                Err(failure) => (failure.report.reporters, true),
+            };
+
+            let meta_loss = fml_core::weighted_meta_loss(model, tasks, &global, eval_alpha);
+            history.push((round, meta_loss));
+            trace.push(RoundTrace {
+                round,
+                participants: participants.iter().map(|&i| tasks[i].id).collect(),
+                local_steps: t0,
+                bytes: comm.bytes_up + comm.bytes_down - bytes_before,
+                retransmissions: comm.retransmissions - retx_before,
+                comm_time_s: comm.time_s - comm_time_before,
+                compute_time_s: round_compute,
+                meta_loss,
+                reporters,
+                degraded,
+            });
+        }
+
+        SimOutput {
+            params: global,
+            comm,
+            compute,
+            participants: participants_per_round,
+            history,
+            trace,
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -429,6 +719,8 @@ impl SimRunner {
                 comm_time_s: comm.time_s - comm_time_before,
                 compute_time_s: round_compute,
                 meta_loss,
+                reporters: participants.len(),
+                degraded: false,
             });
         }
 
@@ -779,6 +1071,179 @@ mod tests {
     #[should_panic(expected = "client fraction must be in (0, 1]")]
     fn rejects_zero_client_fraction() {
         SimConfig::ideal().with_client_fraction(0.0);
+    }
+
+    #[test]
+    fn faulty_sim_with_benign_plan_matches_plain_sim() {
+        use fml_core::{FaultPlan, FaultTolerance};
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(1.0, 2.0), (-2.0, 1.0), (0.5, -1.5)]);
+        let cfg = FedMlConfig::new(0.1, 0.15)
+            .with_local_steps(4)
+            .with_rounds(8);
+        let fedml = FedMl::new(cfg);
+        let theta0 = vec![1.0, -1.0];
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(50);
+        let plain = SimRunner::new(SimConfig::ideal())
+            .run_fedml(&fedml, &model, &tasks, &theta0, &mut r1);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(50);
+        let ft = FaultTolerance::new(FaultPlan::new(0));
+        let faulty = SimRunner::new(SimConfig::ideal())
+            .run_fedml_with_faults(&fedml, &model, &tasks, &theta0, &ft, &mut r2);
+        assert!(
+            fml_linalg::vector::approx_eq(&plain.params, &faulty.params, 1e-12),
+            "benign fault path must match the plain sim: {:?} vs {:?}",
+            plain.params,
+            faulty.params
+        );
+        assert!(faulty.trace.rounds().iter().all(|r| r.reporters == 3));
+        assert!(faulty.trace.rounds().iter().all(|r| !r.degraded));
+    }
+
+    #[test]
+    fn crashed_node_is_dark_and_round_degraded() {
+        use fml_core::{FaultPlan, FaultTolerance};
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0)]);
+        let cfg = FedMlConfig::new(0.1, 0.1)
+            .with_local_steps(3)
+            .with_rounds(5);
+        let ft = FaultTolerance::new(FaultPlan::new(0).with_crash_from(0, 1));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        let sim = SimRunner::new(SimConfig::edge()).run_fedml_with_faults(
+            &FedMl::new(cfg),
+            &model,
+            &tasks,
+            &[0.5, 0.5],
+            &ft,
+            &mut rng,
+        );
+        for r in sim.trace.rounds() {
+            assert!(!r.participants.contains(&0), "crashed node never uploads");
+            assert_eq!(r.reporters, 3);
+            assert!(r.degraded);
+        }
+        // 3 live nodes × (1 down + 1 up) per round.
+        assert_eq!(sim.comm.messages, 5 * 2 * 3);
+        assert!(sim.params.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn corrupt_upload_crosses_wire_but_not_aggregate() {
+        use fml_core::{CorruptMode, FaultPlan, FaultTolerance};
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(2.0, 0.0), (-2.0, 0.0), (0.0, 2.0)]);
+        let cfg = FedMlConfig::new(0.1, 0.1)
+            .with_local_steps(2)
+            .with_rounds(4);
+        let ft =
+            FaultTolerance::new(FaultPlan::new(0).with_corrupt(1, 2, CorruptMode::NaN));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(52);
+        let sim = SimRunner::new(SimConfig::edge()).run_fedml_with_faults(
+            &FedMl::new(cfg),
+            &model,
+            &tasks,
+            &[1.0, 1.0],
+            &ft,
+            &mut rng,
+        );
+        // The corrupt node still uploaded (charged on the wire)…
+        assert_eq!(sim.comm.messages, 4 * 2 * 3);
+        // …but its NaNs were rejected before aggregation.
+        assert!(sim.params.iter().all(|v| v.is_finite()));
+        assert!(sim.history.iter().all(|(_, l)| l.is_finite()));
+        let r2 = &sim.trace.rounds()[1];
+        assert_eq!(r2.reporters, 2);
+        assert!(r2.degraded);
+        assert!(!sim.trace.rounds()[0].degraded);
+    }
+
+    #[test]
+    fn quorum_loss_freezes_global_model() {
+        use fml_core::{FaultPlan, FaultTolerance};
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0)]);
+        let cfg = FedMlConfig::new(0.1, 0.1)
+            .with_local_steps(2)
+            .with_rounds(6);
+        // Three of four nodes die from round 3: 1 reporter < required 2.
+        let plan = FaultPlan::new(0)
+            .with_crash_from(0, 3)
+            .with_crash_from(1, 3)
+            .with_crash_from(2, 3);
+        let ft = FaultTolerance::new(plan);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+        let sim = SimRunner::new(SimConfig::ideal()).run_fedml_with_faults(
+            &FedMl::new(cfg),
+            &model,
+            &tasks,
+            &[2.0, 2.0],
+            &ft,
+            &mut rng,
+        );
+        // Rounds 3+ skip aggregation: the loss curve is frozen.
+        let frozen = sim.history[2].1;
+        for (r, l) in &sim.history[2..] {
+            assert_eq!(*l, frozen, "round {r} must carry the global unchanged");
+        }
+        for r in &sim.trace.rounds()[2..] {
+            assert_eq!(r.reporters, 1);
+            assert!(r.degraded);
+        }
+        assert!(!sim.trace.rounds()[1].degraded);
+    }
+
+    #[test]
+    fn injected_straggler_misses_derived_deadline() {
+        use fml_core::{FaultPlan, FaultTolerance};
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(1.0, 0.0), (-1.0, 0.0), (0.0, 1.0)]);
+        let cfg = FedMlConfig::new(0.1, 0.1)
+            .with_local_steps(3)
+            .with_rounds(3);
+        // Edge links + nonzero compute give a finite derived deadline; a
+        // 1e6 s injected delay blows far past it.
+        let sim_cfg = SimConfig::edge().with_iteration_time(0.01);
+        let ft = FaultTolerance::new(FaultPlan::new(0).with_straggle(2, 2, 1e6));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(54);
+        let sim = SimRunner::new(sim_cfg).run_fedml_with_faults(
+            &FedMl::new(cfg),
+            &model,
+            &tasks,
+            &[0.0, 0.0],
+            &ft,
+            &mut rng,
+        );
+        let r2 = &sim.trace.rounds()[1];
+        // The straggler uploaded (it participates) but was dropped at the
+        // gather, so it does not count as a reporter.
+        assert_eq!(r2.participants.len(), 3);
+        assert_eq!(r2.reporters, 2);
+        assert!(r2.degraded);
+        assert_eq!(sim.trace.rounds()[0].reporters, 3);
+    }
+
+    #[test]
+    fn faulty_sim_runs_fedavg() {
+        use fml_core::{FaultPlan, FaultTolerance};
+        let model = Quadratic::isotropic(2, 1.0);
+        let tasks = quad_tasks(&[(1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0)]);
+        let cfg = FedAvgConfig::new(0.05).with_local_steps(3).with_rounds(4);
+        let ft = FaultTolerance::new(FaultPlan::new(9).with_crash_from(3, 2));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        let sim = SimRunner::new(SimConfig::edge()).run_fedavg_with_faults(
+            &FedAvg::new(cfg),
+            &model,
+            &tasks,
+            &[1.0, -1.0],
+            &ft,
+            &mut rng,
+        );
+        assert_eq!(sim.history.len(), 4);
+        assert_eq!(sim.compute.hvp_evals, 0);
+        assert_eq!(sim.trace.rounds()[0].reporters, 4);
+        assert!(sim.trace.rounds()[1..].iter().all(|r| r.reporters == 3));
+        assert!(sim.params.iter().all(|v| v.is_finite()));
     }
 
     #[test]

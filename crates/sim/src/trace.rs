@@ -27,6 +27,15 @@ pub struct RoundTrace {
     pub compute_time_s: f64,
     /// Weighted meta loss after aggregation.
     pub meta_loss: f64,
+    /// Nodes whose validated updates entered the aggregate. Equals
+    /// `participants.len()` on fault-free rounds; 0 in traces recorded
+    /// before fault injection existed (serde default).
+    #[serde(default)]
+    pub reporters: usize,
+    /// Whether the round was degraded — crashes, rejected updates,
+    /// dropped stragglers, or a skipped aggregation (serde default).
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// An append-only log of round traces with summary helpers.
@@ -148,7 +157,19 @@ mod tests {
             comm_time_s: 0.1,
             compute_time_s: 0.2,
             meta_loss: loss,
+            reporters: 3,
+            degraded: false,
         }
+    }
+
+    #[test]
+    fn reads_pre_fault_tolerance_traces() {
+        // Trace lines recorded before the reporters/degraded fields
+        // existed must still parse.
+        let old = r#"{"round":1,"participants":[0],"local_steps":2,"bytes":10,"retransmissions":0,"comm_time_s":0.0,"compute_time_s":0.0,"meta_loss":1.0}"#;
+        let log = TraceLog::from_jsonl(old).unwrap();
+        assert_eq!(log.rounds()[0].reporters, 0);
+        assert!(!log.rounds()[0].degraded);
     }
 
     #[test]

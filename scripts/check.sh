@@ -8,4 +8,5 @@ cd "$(dirname "$0")/.."
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
 "$(dirname "$0")/bench_smoke.sh"
+"$(dirname "$0")/fault_smoke.sh"
 echo "check: OK"

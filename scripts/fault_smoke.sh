@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Fault-tolerance smoke gate: lint the robustness modules with warnings
+# fatal, then run the fault-injection test surface — the fml-core
+# faults/gather/ft unit suites, the simulator fault path, and the
+# cross-crate acceptance scenario (10 nodes, crashes + corruption,
+# thread-count determinism).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo clippy -p fml-core -p fml-sim --all-targets -- -D warnings
+cargo test -p fml-core --lib -q -- faults:: gather:: ft::
+cargo test -p fml-sim --lib -q -- runner:: message:: network:: trace::
+cargo test -p fml-integration --test fault_tolerance -q
+echo "fault smoke: OK"
