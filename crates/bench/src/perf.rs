@@ -62,6 +62,45 @@ pub fn report_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr1.json")
 }
 
+/// Repository-root path of an arbitrarily named tracked report
+/// (`BENCH_pr3.json` for the runtime benches, …).
+pub fn report_path_named(file_name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(file_name)
+}
+
+/// Writes a single-section report to its own file at the repository
+/// root. Unlike [`merge_section`] there is nothing to merge: the file
+/// belongs to exactly one bench binary.
+///
+/// # Panics
+///
+/// Panics on I/O errors (benches want loud failures, not silently
+/// missing reports).
+pub fn write_report_named(file_name: &str, section_name: &str, section: PerfSection) {
+    let path = report_path_named(file_name);
+    std::fs::write(&path, wrap_section(section_name, &section)).expect("write bench report");
+    println!("wrote {} section to {}", section_name, path.display());
+}
+
+/// Renders a section as a one-key JSON object, matching
+/// `BENCH_pr1.json`'s `{ "<section>": {...} }` convention.
+pub fn wrap_section(section_name: &str, section: &PerfSection) -> String {
+    let json = serde_json::to_string_pretty(section).expect("serialize bench section");
+    format!("{{\n  \"{section_name}\": {}\n}}\n", indent_block(&json))
+}
+
+fn indent_block(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    for (i, line) in json.lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str(line);
+    }
+    out
+}
+
 /// Builds a comparison from two measured ids, if both were run (a name
 /// filter on the bench binary can exclude either).
 pub fn comparison(
@@ -148,5 +187,20 @@ mod tests {
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn wrapped_section_parses_back() {
+        #[derive(Deserialize)]
+        struct Doc {
+            runtime: PerfSection,
+        }
+        let section = PerfSection {
+            host_parallelism: 8,
+            results: sample_results(),
+            comparisons: vec![comparison("x", &sample_results(), "g/alloc", "g/ws").unwrap()],
+        };
+        let doc: Doc = serde_json::from_str(&wrap_section("runtime", &section)).unwrap();
+        assert_eq!(doc.runtime, section);
     }
 }

@@ -29,12 +29,12 @@ mod report;
 pub use config::{
     AlgorithmConfig, DatasetConfig, EvalConfig, ModelConfig, NetworkKind, RunConfig, SimulateConfig,
 };
-pub use report::{EvalReport, Report, SimReport, TrainReport};
+pub use report::{EvalReport, Report, RuntimeSummary, SimReport, TrainReport};
 
 use fml_core::{
-    adapt, FedAvg, FedAvgConfig, FedMl, FedMlConfig, FedProx, FedProxConfig, MetaGradientMode,
-    MetaSgd, MetaSgdConfig, Reptile, ReptileConfig, RobustFedMl, RobustFedMlConfig, SourceTask,
-    TrainOutput,
+    adapt, FedAvg, FedAvgConfig, FedMl, FedMlConfig, FedProx, FedProxConfig, LocalStepper,
+    MetaGradientMode, MetaSgd, MetaSgdConfig, Reptile, ReptileConfig, RobustFedMl,
+    RobustFedMlConfig, SourceTask, TrainOutput,
 };
 use fml_data::synthetic::SyntheticConfig;
 use fml_data::{
@@ -43,6 +43,7 @@ use fml_data::{
 };
 use fml_dro::BoxConstraint;
 use fml_models::{Activation, MlpBuilder, Model, SoftmaxRegression};
+use fml_runtime::{AsyncPolicy, Runtime, RuntimeConfig};
 use fml_sim::{Network, SimConfig, SimRunner};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -147,6 +148,144 @@ pub fn run(cfg: &RunConfig) -> Result<Report, String> {
             final_meta_loss: output.final_meta_loss(),
         },
         simulation: sim_report,
+        runtime: None,
+        eval,
+    })
+}
+
+/// Execution mode requested on the `runtime` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeMode {
+    /// Lockstep rounds (reproduces `train_from` bitwise when fault-free).
+    Barrier,
+    /// Bounded-staleness asynchronous aggregation.
+    Async,
+}
+
+/// Knobs of the `runtime` subcommand, layered over a [`RunConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeOptions {
+    /// Barrier or async execution.
+    pub mode: RuntimeMode,
+    /// Staleness bound for async mode (rounds).
+    pub max_staleness: usize,
+    /// Worker-thread override; `None` auto-sizes.
+    pub threads: Option<usize>,
+    /// Seed override; `None` uses the config's seed.
+    pub seed: Option<u64>,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            mode: RuntimeMode::Barrier,
+            max_staleness: 4,
+            threads: None,
+            seed: None,
+        }
+    }
+}
+
+/// Executes a configured experiment on the `fml-runtime` actor fleet
+/// instead of the in-process training loop.
+///
+/// The algorithm section must be one the runtime can drive round by
+/// round (`fedml`, `fedavg`, or `fedprox` — the identity-combine
+/// trainers with an extracted local step).
+///
+/// # Errors
+///
+/// Returns a human-readable message when the config is invalid or the
+/// algorithm has no extracted local step.
+pub fn run_runtime(cfg: &RunConfig, opts: &RuntimeOptions) -> Result<Report, String> {
+    cfg.validate()?;
+    let seed = opts.seed.unwrap_or(cfg.seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fed = build_dataset(&cfg.dataset, &mut rng);
+    let stats = fed.stats();
+    let (sources, targets) = fed.split_sources_targets(cfg.source_frac, &mut rng);
+    let tasks = SourceTask::from_nodes(&sources, cfg.eval.k, &mut rng);
+    let model = build_model(&cfg.model, &fed)?;
+    let theta0 = model.init_params(&mut rng);
+
+    let stepper: Box<dyn LocalStepper> = match &cfg.algorithm {
+        AlgorithmConfig::Fedml {
+            alpha,
+            beta,
+            local_steps,
+            rounds,
+            first_order,
+        } => {
+            let mode = if *first_order {
+                MetaGradientMode::FirstOrder
+            } else {
+                MetaGradientMode::FullSecondOrder
+            };
+            Box::new(FedMl::new(
+                FedMlConfig::new(*alpha, *beta)
+                    .with_local_steps(*local_steps)
+                    .with_rounds(*rounds)
+                    .with_mode(mode)
+                    .with_record_every(0),
+            ))
+        }
+        AlgorithmConfig::Fedavg {
+            lr,
+            local_steps,
+            rounds,
+        } => Box::new(FedAvg::new(
+            FedAvgConfig::new(*lr)
+                .with_local_steps(*local_steps)
+                .with_rounds(*rounds)
+                .with_eval_alpha(cfg.eval.adapt_lr)
+                .with_record_every(0),
+        )),
+        AlgorithmConfig::Fedprox {
+            lr,
+            prox,
+            local_steps,
+            rounds,
+        } => Box::new(FedProx::new(
+            FedProxConfig::new(*lr, *prox)
+                .with_local_steps(*local_steps)
+                .with_rounds(*rounds)
+                .with_record_every(0),
+        )),
+        other => {
+            return Err(format!(
+                "the runtime subcommand supports fedml, fedavg, and fedprox; got {other:?}"
+            ))
+        }
+    };
+
+    let mut rt_cfg = match opts.mode {
+        RuntimeMode::Barrier => RuntimeConfig::barrier(seed),
+        RuntimeMode::Async => RuntimeConfig::async_mode(
+            seed,
+            AsyncPolicy::default().with_max_staleness(opts.max_staleness),
+        ),
+    };
+    if let Some(threads) = opts.threads {
+        rt_cfg = rt_cfg.with_threads(threads);
+    }
+    let out = Runtime::new(rt_cfg).run(stepper.as_ref(), model.as_ref(), &tasks, &theta0);
+
+    let eval = evaluate(cfg, model.as_ref(), &out.train.params, &targets, &mut rng);
+    let mode_name = match opts.mode {
+        RuntimeMode::Barrier => "runtime barrier",
+        RuntimeMode::Async => "runtime async",
+    };
+    Ok(Report {
+        dataset: stats,
+        algorithm: format!("{} ({mode_name})", stepper.algorithm()),
+        training: TrainReport {
+            comm_rounds: out.train.comm_rounds,
+            local_iterations: out.train.local_iterations,
+            initial_meta_loss: out.train.history.first().map(|r| r.meta_loss),
+            final_meta_loss: out.train.final_meta_loss(),
+        },
+        simulation: None,
+        runtime: Some(RuntimeSummary::from_report(&out.report)),
         eval,
     })
 }
@@ -535,5 +674,62 @@ mod tests {
         let a = run(&cfg).unwrap();
         let b = run(&cfg).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn runtime_barrier_matches_direct_run() {
+        let cfg = tiny(AlgorithmConfig::Fedml {
+            alpha: 0.05,
+            beta: 0.05,
+            local_steps: 2,
+            rounds: 3,
+            first_order: false,
+        });
+        let direct = run(&cfg).unwrap();
+        let rt = run_runtime(&cfg, &RuntimeOptions::default()).unwrap();
+        assert!(rt.algorithm.contains("runtime barrier"), "{}", rt.algorithm);
+        let summary = rt.runtime.as_ref().expect("runtime section present");
+        assert_eq!(summary.mode, "barrier");
+        assert!(summary.frames > 0);
+        // The barrier runtime replays train_from's float ops exactly, so the
+        // final meta loss and the downstream target evaluation must agree
+        // bitwise with the in-process run.
+        assert_eq!(rt.training.final_meta_loss, direct.training.final_meta_loss);
+        assert_eq!(rt.eval, direct.eval);
+    }
+
+    #[test]
+    fn runtime_async_reports_staleness() {
+        let cfg = tiny(AlgorithmConfig::Fedavg {
+            lr: 0.05,
+            local_steps: 2,
+            rounds: 4,
+        });
+        let opts = RuntimeOptions {
+            mode: RuntimeMode::Async,
+            max_staleness: 2,
+            threads: Some(2),
+            seed: None,
+        };
+        let rt = run_runtime(&cfg, &opts).unwrap();
+        assert!(rt.algorithm.contains("runtime async"), "{}", rt.algorithm);
+        let summary = rt.runtime.as_ref().expect("runtime section present");
+        assert_eq!(summary.mode, "async");
+        assert_eq!(summary.threads, 2);
+        assert!(summary.staleness_hist.len() <= 3, "bound is max_staleness");
+        assert!(summary.accepted_updates > 0);
+        assert!(rt.eval.final_loss.is_finite());
+    }
+
+    #[test]
+    fn runtime_rejects_unsupported_algorithms() {
+        let cfg = tiny(AlgorithmConfig::Reptile {
+            inner_lr: 0.05,
+            outer_lr: 0.5,
+            inner_steps: 2,
+            rounds: 2,
+        });
+        let err = run_runtime(&cfg, &RuntimeOptions::default()).unwrap_err();
+        assert!(err.contains("runtime"), "unexpected error: {err}");
     }
 }

@@ -5,9 +5,12 @@
 //! fedml stats <config.json>    generate the dataset and print Table-I stats
 //! fedml run <config.json>      run the experiment and print the report
 //!       [--json <out.json>]    additionally dump the report as JSON
+//! fedml runtime <config.json>  run on the thread-per-node actor runtime
+//!       [--mode barrier|async] [--max-staleness N] [--threads N]
+//!       [--seed N] [--json <out.json>]
 //! ```
 
-use fml_cli::{run, RunConfig};
+use fml_cli::{run, run_runtime, RunConfig, RuntimeMode, RuntimeOptions};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -26,7 +29,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   fedml init <path>                 write an example config
   fedml stats <config.json>         print dataset statistics
-  fedml run <config.json> [--json <out.json>]";
+  fedml run <config.json> [--json <out.json>]
+  fedml runtime <config.json> [--mode barrier|async] [--max-staleness N]
+        [--threads N] [--seed N] [--json <out.json>]";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -67,6 +72,18 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        Some("runtime") => {
+            let cfg = load_config(args.get(1))?;
+            let (opts, json_out) = parse_runtime_flags(&args[2..])?;
+            let report = run_runtime(&cfg, &opts)?;
+            print!("{report}");
+            if let Some(path) = json_out {
+                let json = serde_json::to_string_pretty(&report).expect("report serializes");
+                std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+                println!("wrote JSON report to {path}");
+            }
+            Ok(())
+        }
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
             Ok(())
@@ -74,6 +91,52 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some(other) => Err(format!("unknown command {other}")),
         None => Err("no command given".into()),
     }
+}
+
+fn parse_runtime_flags(args: &[String]) -> Result<(RuntimeOptions, Option<String>), String> {
+    let mut opts = RuntimeOptions::default();
+    let mut json_out = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--mode" => {
+                opts.mode = match value("--mode")?.as_str() {
+                    "barrier" => RuntimeMode::Barrier,
+                    "async" => RuntimeMode::Async,
+                    other => return Err(format!("unknown mode {other} (barrier|async)")),
+                }
+            }
+            "--max-staleness" => {
+                opts.max_staleness = value("--max-staleness")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-staleness: {e}"))?
+            }
+            "--threads" => {
+                let t: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                opts.threads = Some(t);
+            }
+            "--seed" => {
+                opts.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?,
+                )
+            }
+            "--json" => json_out = Some(value("--json")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok((opts, json_out))
 }
 
 fn load_config(path: Option<&String>) -> Result<RunConfig, String> {

@@ -46,6 +46,52 @@ impl SimReport {
     }
 }
 
+/// Actor-runtime summary (the `runtime` subcommand).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeSummary {
+    /// `"barrier"` or `"async"`.
+    pub mode: String,
+    /// Worker OS threads the node actors ran on.
+    pub threads: usize,
+    /// Wire frames moved in both directions (node-side count).
+    pub frames: u64,
+    /// Encoded bytes moved in both directions.
+    pub bytes: u64,
+    /// Updates folded into the global model.
+    pub accepted_updates: u64,
+    /// `staleness_hist[s]` = accepted updates applied at staleness `s`.
+    pub staleness_hist: Vec<u64>,
+    /// Updates dropped for exceeding the staleness bound.
+    pub rejected_stale: u64,
+    /// Updates dropped by validation screening.
+    pub rejected_invalid: u64,
+    /// Frames that failed to decode.
+    pub decode_errors: u64,
+    /// Frames dropped, in flight at shutdown, or past their round.
+    pub undelivered: u64,
+    /// Rounds flagged degraded.
+    pub degraded_rounds: usize,
+}
+
+impl RuntimeSummary {
+    /// Extracts the summary from a runtime report.
+    pub fn from_report(report: &fml_runtime::RuntimeReport) -> Self {
+        RuntimeSummary {
+            mode: report.mode.clone(),
+            threads: report.threads,
+            frames: report.total_frames(),
+            bytes: report.total_bytes(),
+            accepted_updates: report.accepted_updates(),
+            staleness_hist: report.staleness_hist.clone(),
+            rejected_stale: report.rejected_stale,
+            rejected_invalid: report.rejected_invalid,
+            decode_errors: report.decode_errors,
+            undelivered: report.undelivered,
+            degraded_rounds: report.degraded_rounds,
+        }
+    }
+}
+
 /// Target-adaptation summary.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvalReport {
@@ -78,6 +124,10 @@ pub struct Report {
     pub training: TrainReport,
     /// Simulated-network summary, when a `simulate` section was present.
     pub simulation: Option<SimReport>,
+    /// Actor-runtime summary, when run via the `runtime` subcommand
+    /// (absent — and absent from older JSON — otherwise).
+    #[serde(default)]
+    pub runtime: Option<RuntimeSummary>,
     /// Target evaluation.
     pub eval: EvalReport,
 }
@@ -116,6 +166,34 @@ impl fmt::Display for Report {
             )?;
             if let Some(l) = sim.final_meta_loss {
                 writeln!(f, "           final meta loss {l:.4}")?;
+            }
+        }
+        if let Some(rt) = &self.runtime {
+            writeln!(
+                f,
+                "runtime    {} mode, {} threads, {} frames / {:.2} MB on the wire",
+                rt.mode,
+                rt.threads,
+                rt.frames,
+                rt.bytes as f64 / 1e6
+            )?;
+            writeln!(
+                f,
+                "           {} accepted ({} stale, {} invalid, {} undelivered), {} degraded rounds",
+                rt.accepted_updates,
+                rt.rejected_stale,
+                rt.rejected_invalid,
+                rt.undelivered,
+                rt.degraded_rounds
+            )?;
+            if rt.staleness_hist.len() > 1 {
+                let hist: Vec<String> = rt
+                    .staleness_hist
+                    .iter()
+                    .enumerate()
+                    .map(|(s, c)| format!("s{s}:{c}"))
+                    .collect();
+                writeln!(f, "           staleness {}", hist.join(" "))?;
             }
         }
         writeln!(
@@ -168,6 +246,7 @@ mod tests {
                 wall_clock_s: 12.5,
                 final_meta_loss: Some(0.7),
             }),
+            runtime: None,
             eval: EvalReport {
                 targets: 6,
                 k: 5,
@@ -213,5 +292,43 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: Report = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn runtime_section_displays_and_roundtrips() {
+        let mut r = sample();
+        r.runtime = Some(RuntimeSummary {
+            mode: "async".into(),
+            threads: 4,
+            frames: 240,
+            bytes: 480_000,
+            accepted_updates: 110,
+            staleness_hist: vec![90, 15, 5],
+            rejected_stale: 6,
+            rejected_invalid: 1,
+            decode_errors: 0,
+            undelivered: 3,
+            degraded_rounds: 2,
+        });
+        let text = r.to_string();
+        assert!(text.contains("runtime    async mode"));
+        assert!(text.contains("staleness s0:90 s1:15 s2:5"));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn reports_without_runtime_section_still_parse() {
+        // JSON emitted before the runtime subcommand existed has no
+        // "runtime" key; serde(default) must fill in None.
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let needle = "\"runtime\":null,";
+        assert!(json.contains(needle), "unexpected serialization: {json}");
+        let legacy = json.replace(needle, "");
+        let back: Report = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.runtime, None);
+        assert_eq!(back, r);
     }
 }

@@ -392,10 +392,28 @@ fn triage(sub: &Submission, policy: &GatherPolicy) -> (NodeOutcome, Option<Vec<f
     }
 }
 
-enum Validated {
+/// Result of screening a single update against an [`UpdateValidation`]
+/// policy. Public so external executors (the `fml-runtime` actor
+/// platform) can reuse the exact screening rules `gather` applies,
+/// without having to stage a full gather round per update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Validated {
+    /// The update passed unmodified.
     Ok,
+    /// The update's norm exceeded the clip bound and was rescaled in
+    /// place.
     Clipped,
+    /// The update is unusable (non-finite entries or non-finite norm)
+    /// and must be excluded from aggregation.
     Rejected,
+}
+
+/// Screens one update in place against `v`: non-finite rejection, then
+/// norm clipping. This is the same routine [`gather`] runs on every
+/// on-time submission, exposed for aggregation points that accept
+/// updates one at a time (asynchronous aggregation).
+pub fn screen_update(update: &mut [f64], v: &UpdateValidation) -> Validated {
+    validate(update, v)
 }
 
 /// Screens one update in place: non-finite rejection, then norm clipping.

@@ -64,6 +64,7 @@ pub mod optim;
 pub mod parallel;
 mod reptile;
 pub mod selection;
+pub mod step;
 mod robust;
 mod task;
 pub mod theory;
@@ -80,6 +81,7 @@ pub use meta::MetaGradientMode;
 pub use metasgd::{MetaSgd, MetaSgdConfig, MetaSgdOutput};
 pub use reptile::{Reptile, ReptileConfig};
 pub use robust::{RobustFedMl, RobustFedMlConfig};
+pub use step::LocalStepper;
 pub use task::SourceTask;
 pub use trainer::{
     aggregate, weighted_meta_loss, weighted_train_loss, FederatedTrainer, RoundRecord, TrainOutput,

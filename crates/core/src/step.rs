@@ -1,0 +1,198 @@
+//! Trainer step extraction: the [`LocalStepper`] trait.
+//!
+//! Each federated trainer in this crate already exposes a
+//! `local_update` that runs one node's `T0` local iterations from a
+//! given model state. External executors — the `fml-sim` round runner
+//! and the `fml-runtime` actor platform — need to drive exactly that
+//! unit of work without caring *which* algorithm is underneath. This
+//! trait is that seam: it packages a trainer's per-node step, its round
+//! schedule, and its loss evaluation so an executor can reproduce
+//! `train_from` round by round (bitwise, for identity-combine trainers)
+//! while owning the communication in between.
+//!
+//! Implemented for the identity-combine trainers ([`FedMl`],
+//! [`FedAvg`], [`FedProx`]): for these, a round is *broadcast → local
+//! steps → weighted aggregate*, with nothing folded in from the
+//! pre-broadcast global. [`crate::Reptile`] is deliberately excluded —
+//! its outer interpolation `θ ← θ + ε(agg − θ)` needs the round-start
+//! global at combine time, which this seam does not carry.
+
+use fml_models::Model;
+
+use crate::trainer::{weighted_meta_loss, weighted_train_loss};
+use crate::{FedAvg, FedMl, FedProx, SourceTask};
+
+/// A federated trainer whose per-node work can be driven one round at a
+/// time by an external executor.
+pub trait LocalStepper: Sync {
+    /// Human-readable algorithm name (for reports and traces).
+    fn algorithm(&self) -> &'static str;
+
+    /// Number of communication rounds the trainer is configured for.
+    fn rounds(&self) -> usize;
+
+    /// Local iterations `T0` between aggregations.
+    fn local_steps(&self) -> usize;
+
+    /// Runs `steps` local iterations for one node from `theta` and
+    /// returns the node's updated parameters. Must match the trainer's
+    /// own `train_from` inner loop bitwise.
+    fn local_update(
+        &self,
+        model: &dyn Model,
+        task: &SourceTask,
+        theta: &[f64],
+        steps: usize,
+    ) -> Vec<f64>;
+
+    /// Evaluates `(meta_loss, train_loss)` at `theta` exactly as the
+    /// trainer's `train_from` records them on its training curve.
+    fn eval_losses(&self, model: &dyn Model, tasks: &[SourceTask], theta: &[f64]) -> (f64, f64);
+}
+
+impl LocalStepper for FedMl {
+    fn algorithm(&self) -> &'static str {
+        "FedML"
+    }
+
+    fn rounds(&self) -> usize {
+        self.config().rounds
+    }
+
+    fn local_steps(&self) -> usize {
+        self.config().local_steps
+    }
+
+    fn local_update(
+        &self,
+        model: &dyn Model,
+        task: &SourceTask,
+        theta: &[f64],
+        steps: usize,
+    ) -> Vec<f64> {
+        FedMl::local_update(self, model, task, theta, steps)
+    }
+
+    fn eval_losses(&self, model: &dyn Model, tasks: &[SourceTask], theta: &[f64]) -> (f64, f64) {
+        (
+            weighted_meta_loss(model, tasks, theta, self.config().alpha),
+            weighted_train_loss(model, tasks, theta),
+        )
+    }
+}
+
+impl LocalStepper for FedAvg {
+    fn algorithm(&self) -> &'static str {
+        "FedAvg"
+    }
+
+    fn rounds(&self) -> usize {
+        self.config().rounds
+    }
+
+    fn local_steps(&self) -> usize {
+        self.config().local_steps
+    }
+
+    fn local_update(
+        &self,
+        model: &dyn Model,
+        task: &SourceTask,
+        theta: &[f64],
+        steps: usize,
+    ) -> Vec<f64> {
+        FedAvg::local_update(self, model, task, theta, steps)
+    }
+
+    fn eval_losses(&self, model: &dyn Model, tasks: &[SourceTask], theta: &[f64]) -> (f64, f64) {
+        (
+            weighted_meta_loss(model, tasks, theta, self.config().eval_alpha),
+            weighted_train_loss(model, tasks, theta),
+        )
+    }
+}
+
+impl LocalStepper for FedProx {
+    fn algorithm(&self) -> &'static str {
+        "FedProx"
+    }
+
+    fn rounds(&self) -> usize {
+        self.config().rounds
+    }
+
+    fn local_steps(&self) -> usize {
+        self.config().local_steps
+    }
+
+    fn local_update(
+        &self,
+        model: &dyn Model,
+        task: &SourceTask,
+        theta: &[f64],
+        steps: usize,
+    ) -> Vec<f64> {
+        FedProx::local_update(self, model, task, theta, steps)
+    }
+
+    fn eval_losses(&self, model: &dyn Model, tasks: &[SourceTask], theta: &[f64]) -> (f64, f64) {
+        (
+            weighted_meta_loss(model, tasks, theta, self.config().eval_alpha),
+            weighted_train_loss(model, tasks, theta),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FedAvgConfig, FedMlConfig, FedProxConfig};
+    use fml_data::synthetic::SyntheticConfig;
+    use fml_models::SoftmaxRegression;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SoftmaxRegression, Vec<SourceTask>) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let fed = SyntheticConfig::new(0.5, 0.5)
+            .with_nodes(4)
+            .with_dim(6)
+            .with_classes(3)
+            .generate(&mut rng);
+        let tasks = SourceTask::from_nodes(fed.nodes(), 5, &mut rng);
+        (SoftmaxRegression::new(6, 3), tasks)
+    }
+
+    #[test]
+    fn trait_local_update_matches_inherent() {
+        let (model, tasks) = setup();
+        let theta = vec![0.01; model.param_len()];
+        let fed = FedMl::new(FedMlConfig::new(0.05, 0.05).with_local_steps(3));
+        let via_trait =
+            LocalStepper::local_update(&fed, &model, &tasks[0], &theta, 3);
+        let direct = fed.local_update(&model, &tasks[0], &theta, 3);
+        assert_eq!(via_trait, direct);
+        assert_eq!(LocalStepper::rounds(&fed), fed.config().rounds);
+        assert_eq!(LocalStepper::local_steps(&fed), 3);
+        assert_eq!(fed.algorithm(), "FedML");
+    }
+
+    #[test]
+    fn all_steppers_report_names_and_finite_losses() {
+        let (model, tasks) = setup();
+        let theta = vec![0.0; model.param_len()];
+        let steppers: Vec<Box<dyn LocalStepper>> = vec![
+            Box::new(FedMl::new(FedMlConfig::new(0.05, 0.05))),
+            Box::new(FedAvg::new(FedAvgConfig::new(0.05))),
+            Box::new(FedProx::new(FedProxConfig::new(0.05, 0.1))),
+        ];
+        for s in &steppers {
+            assert!(!s.algorithm().is_empty());
+            let (meta, train) = s.eval_losses(&model, &tasks, &theta);
+            assert!(meta.is_finite() && train.is_finite());
+            let upd = s.local_update(&model, &tasks[0], &theta, 2);
+            assert_eq!(upd.len(), theta.len());
+            assert!(upd.iter().all(|x| x.is_finite()));
+        }
+    }
+}

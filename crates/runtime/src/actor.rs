@@ -1,0 +1,151 @@
+//! Node actors: the edge side of the runtime.
+//!
+//! Every source node is an actor with a bounded mailbox. Actors are
+//! multiplexed onto a fixed pool of worker OS threads (contiguous
+//! chunks, like `fml_core::parallel`): one worker services its nodes in
+//! index order each round, so a run with 1 worker and a run with 8 do
+//! exactly the same floating-point work in exactly the same per-node
+//! order.
+//!
+//! The actor's round is pure message-plumbing around the trainer's
+//! extracted step:
+//!
+//! 1. block (with a wall-clock timeout as a liveness net) on the
+//!    mailbox for the platform's `GlobalModel` frame;
+//! 2. decode it — the hardened [`fml_sim::Message::decode`] runs on
+//!    every hop, counting (never panicking on) malformed frames;
+//! 3. run the trainer's `T0` local steps via
+//!    [`fml_core::LocalStepper::local_update`];
+//! 4. apply any scheduled corrupt fault, encode a `ModelUpdate` frame,
+//!    and send it up the shared platform uplink.
+//!
+//! Crash faults are honoured by *not* touching the mailbox that round —
+//! the platform consults the same pure [`FaultPlan`] and skips the
+//! broadcast, so neither side waits on the other. Straggle faults are
+//! virtual-time only (the platform adds the delay when triaging), so no
+//! actor ever sleeps.
+
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+use bytes::Bytes;
+use fml_core::faults::corrupt;
+use fml_core::{Fault, FaultPlan, LocalStepper, SourceTask};
+use fml_models::Model;
+use fml_sim::Message;
+
+use crate::report::NodeIo;
+
+/// One node's actor state: its mailbox and I/O counters.
+pub(crate) struct NodeActor {
+    /// Node id (index into the task list).
+    pub node: usize,
+    /// Bounded mailbox the platform broadcasts into.
+    pub mailbox: Receiver<Bytes>,
+    /// Frame/byte counters, measured at this node.
+    pub io: NodeIo,
+    /// Cleared when the platform side disappears; the actor then stops
+    /// servicing this node.
+    pub alive: bool,
+}
+
+impl NodeActor {
+    pub(crate) fn new(node: usize, mailbox: Receiver<Bytes>) -> Self {
+        NodeActor {
+            node,
+            mailbox,
+            io: NodeIo {
+                node,
+                ..NodeIo::default()
+            },
+            alive: true,
+        }
+    }
+}
+
+/// Everything a worker thread needs, shared immutably across workers.
+pub(crate) struct WorkerCtx<'a> {
+    pub stepper: &'a dyn LocalStepper,
+    pub model: &'a dyn Model,
+    pub tasks: &'a [SourceTask],
+    pub faults: &'a FaultPlan,
+    pub rounds: usize,
+    pub local_steps: usize,
+    pub recv_timeout: Duration,
+}
+
+/// What a worker hands back when its rounds are done.
+pub(crate) struct WorkerOutcome {
+    /// Counters for the nodes this worker owned.
+    pub io: Vec<NodeIo>,
+    /// Frames that failed to decode at these nodes.
+    pub decode_errors: u64,
+}
+
+/// Services `actors` for the full round schedule, then reports.
+pub(crate) fn worker_loop(
+    ctx: &WorkerCtx<'_>,
+    mut actors: Vec<NodeActor>,
+    uplink: &Sender<(usize, Bytes)>,
+) -> WorkerOutcome {
+    let mut decode_errors = 0u64;
+    for round in 1..=ctx.rounds {
+        for actor in &mut actors {
+            if !actor.alive {
+                continue;
+            }
+            let fault = ctx.faults.draw(actor.node, round);
+            if matches!(fault, Some(Fault::Crash)) {
+                // The platform draws the same plan and will not
+                // broadcast to us this round.
+                continue;
+            }
+            let frame = match actor.mailbox.recv_timeout(ctx.recv_timeout) {
+                Ok(frame) => frame,
+                // Missed/undelivered broadcast: skip the round, stay up.
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    actor.alive = false;
+                    continue;
+                }
+            };
+            actor.io.frames_received += 1;
+            actor.io.bytes_received += frame.len() as u64;
+            // Decode on receive: the hardened path runs on every hop.
+            let broadcast = match Message::decode(&frame) {
+                Ok(Message::GlobalModel { round, params }) => (round, params),
+                // A non-broadcast message here is a protocol violation;
+                // count it like any other unusable frame.
+                Ok(Message::ModelUpdate { .. }) | Err(_) => {
+                    decode_errors += 1;
+                    continue;
+                }
+            };
+            let (broadcast_round, global) = broadcast;
+            let mut update = ctx.stepper.local_update(
+                ctx.model,
+                &ctx.tasks[actor.node],
+                &global,
+                ctx.local_steps,
+            );
+            if let Some(Fault::Corrupt(mode)) = fault {
+                corrupt(mode, &mut update);
+            }
+            let reply = Message::ModelUpdate {
+                round: broadcast_round,
+                node: actor.node as u32,
+                params: update,
+            };
+            let frame = reply.encode();
+            actor.io.frames_sent += 1;
+            actor.io.bytes_sent += frame.len() as u64;
+            if uplink.send((actor.node, frame)).is_err() {
+                actor.alive = false;
+            }
+        }
+    }
+    WorkerOutcome {
+        io: actors.into_iter().map(|a| a.io).collect(),
+        decode_errors,
+    }
+}

@@ -1,0 +1,263 @@
+//! Runtime configuration: execution mode, actor knobs, fault stack.
+
+use fml_core::{FaultPlan, GatherPolicy};
+
+use crate::clock::VirtualClock;
+
+/// Staleness handling for [`Mode::Async`] aggregation.
+///
+/// An update computed against the round-`r` global model that reaches
+/// the platform in round `r' ≥ r` has staleness `s = r' − r`. The
+/// platform folds it into the global model as
+///
+/// ```text
+/// θ ← (1 − w)·θ + w·u,   w = clamp(η · n·ω_i · (1 + s)^(−a), 0, 1)
+/// ```
+///
+/// where `η` is [`mix`](AsyncPolicy::mix), `n·ω_i` rescales the node's
+/// eq. 5 aggregation weight so a uniform fleet gets `≈ 1`, and `a` is
+/// [`decay_pow`](AsyncPolicy::decay_pow) (the polynomial decay of
+/// FedAsync). Updates with `s >` [`max_staleness`](AsyncPolicy::max_staleness)
+/// are rejected outright and counted in the report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncPolicy {
+    /// Maximum accepted staleness in rounds; anything older is dropped.
+    pub max_staleness: usize,
+    /// Base mixing rate `η` applied to every accepted update.
+    pub mix: f64,
+    /// Polynomial staleness-decay exponent `a ≥ 0` (0 disables decay).
+    pub decay_pow: f64,
+}
+
+impl Default for AsyncPolicy {
+    fn default() -> Self {
+        AsyncPolicy {
+            max_staleness: 4,
+            mix: 0.5,
+            decay_pow: 1.0,
+        }
+    }
+}
+
+impl AsyncPolicy {
+    /// Sets the staleness bound.
+    pub fn with_max_staleness(mut self, s: usize) -> Self {
+        self.max_staleness = s;
+        self
+    }
+
+    /// Sets the base mixing rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mix` is outside `(0, 1]`.
+    pub fn with_mix(mut self, mix: f64) -> Self {
+        assert!(mix > 0.0 && mix <= 1.0, "mix must be in (0, 1]");
+        self.mix = mix;
+        self
+    }
+
+    /// Sets the staleness-decay exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a` is negative or non-finite.
+    pub fn with_decay_pow(mut self, a: f64) -> Self {
+        assert!(a >= 0.0 && a.is_finite(), "decay exponent must be ≥ 0");
+        self.decay_pow = a;
+        self
+    }
+
+    /// The staleness-decayed mixing weight for node weight `omega` in a
+    /// fleet of `n`, at staleness `s`.
+    pub fn weight(&self, omega: f64, n: usize, s: usize) -> f64 {
+        let decay = (1.0 + s as f64).powf(-self.decay_pow);
+        (self.mix * omega * n as f64 * decay).clamp(0.0, 1.0)
+    }
+}
+
+/// Execution mode of the platform event loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// Lockstep rounds: the platform waits for every live node before
+    /// aggregating. Fault-free runs reproduce `train_from` histories
+    /// bitwise.
+    Barrier,
+    /// Bounded-staleness rounds: updates are folded in one at a time as
+    /// they (virtually) arrive, decayed by staleness.
+    Async(AsyncPolicy),
+}
+
+/// Full configuration of a [`crate::Runtime`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    /// Barrier or async aggregation.
+    pub mode: Mode,
+    /// Worker OS threads the node actors are multiplexed onto; `None`
+    /// auto-sizes like `fml_core::parallel::default_threads`. Results
+    /// are bitwise independent of this setting.
+    pub threads: Option<usize>,
+    /// Bound of each node's mailbox (frames). Broadcasts to a full
+    /// mailbox are dropped and counted, never blocked on.
+    pub mailbox_cap: usize,
+    /// Wall-clock receive timeout (milliseconds) — the liveness safety
+    /// net that turns a dead or wedged thread into a degraded round
+    /// instead of a hang. Plays no algorithmic role.
+    pub recv_timeout_ms: u64,
+    /// Virtual duration of one communication round (seconds); together
+    /// with the clock's delays this decides which round an async upload
+    /// lands in.
+    pub round_duration_s: f64,
+    /// Seeded virtual network delays.
+    pub clock: VirtualClock,
+    /// Fault injection schedule (crash / straggle / corrupt).
+    pub faults: FaultPlan,
+    /// Validation and quorum policy applied at aggregation points.
+    pub gather: GatherPolicy,
+}
+
+impl RuntimeConfig {
+    /// Barrier-mode defaults with the given seed (drives the virtual
+    /// clock and the benign default fault plan).
+    pub fn barrier(seed: u64) -> Self {
+        RuntimeConfig {
+            mode: Mode::Barrier,
+            threads: None,
+            mailbox_cap: 2,
+            recv_timeout_ms: 2_000,
+            round_duration_s: 1.0,
+            clock: VirtualClock::new(seed),
+            faults: FaultPlan::new(seed),
+            gather: GatherPolicy::default(),
+        }
+    }
+
+    /// Async-mode defaults with the given seed and staleness policy.
+    pub fn async_mode(seed: u64, policy: AsyncPolicy) -> Self {
+        RuntimeConfig {
+            mode: Mode::Async(policy),
+            ..RuntimeConfig::barrier(seed)
+        }
+    }
+
+    /// Sets the worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be at least 1");
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the per-node mailbox bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap == 0`.
+    pub fn with_mailbox_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "mailbox capacity must be at least 1");
+        self.mailbox_cap = cap;
+        self
+    }
+
+    /// Sets the wall-clock receive timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ms == 0`.
+    pub fn with_recv_timeout_ms(mut self, ms: u64) -> Self {
+        assert!(ms > 0, "receive timeout must be positive");
+        self.recv_timeout_ms = ms;
+        self
+    }
+
+    /// Sets the virtual round duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `d` is not positive and finite.
+    pub fn with_round_duration(mut self, d: f64) -> Self {
+        assert!(d > 0.0 && d.is_finite(), "round duration must be positive");
+        self.round_duration_s = d;
+        self
+    }
+
+    /// Sets the virtual clock.
+    pub fn with_clock(mut self, clock: VirtualClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Sets the fault plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Sets the gather policy.
+    pub fn with_gather(mut self, policy: GatherPolicy) -> Self {
+        self.gather = policy;
+        self
+    }
+
+    /// The async policy, if in async mode.
+    pub fn async_policy(&self) -> Option<&AsyncPolicy> {
+        match &self.mode {
+            Mode::Async(p) => Some(p),
+            Mode::Barrier => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn async_weight_decays_with_staleness() {
+        let p = AsyncPolicy::default().with_mix(0.8).with_decay_pow(1.0);
+        let w0 = p.weight(0.25, 4, 0);
+        let w1 = p.weight(0.25, 4, 1);
+        let w3 = p.weight(0.25, 4, 3);
+        assert!(w0 > w1 && w1 > w3);
+        assert!((w0 - 0.8).abs() < 1e-12, "uniform fleet, s=0 ⇒ w = mix");
+        assert!((w1 - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn async_weight_is_clamped() {
+        let p = AsyncPolicy::default().with_mix(1.0).with_decay_pow(0.0);
+        // A node holding 90% of the data would overshoot 1.0 unclamped.
+        assert_eq!(p.weight(0.9, 4, 0), 1.0);
+    }
+
+    #[test]
+    fn builders_roundtrip() {
+        let cfg = RuntimeConfig::barrier(5)
+            .with_threads(3)
+            .with_mailbox_cap(4)
+            .with_recv_timeout_ms(100)
+            .with_round_duration(2.5);
+        assert_eq!(cfg.threads, Some(3));
+        assert_eq!(cfg.mailbox_cap, 4);
+        assert_eq!(cfg.recv_timeout_ms, 100);
+        assert_eq!(cfg.round_duration_s, 2.5);
+        assert!(cfg.async_policy().is_none());
+        let a = RuntimeConfig::async_mode(5, AsyncPolicy::default().with_max_staleness(2));
+        assert_eq!(a.async_policy().unwrap().max_staleness, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mix must be")]
+    fn zero_mix_rejected() {
+        let _ = AsyncPolicy::default().with_mix(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn zero_threads_rejected() {
+        let _ = RuntimeConfig::barrier(0).with_threads(0);
+    }
+}

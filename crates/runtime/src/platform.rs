@@ -1,0 +1,641 @@
+//! The platform event loop: owns the global parameters, broadcasts
+//! them as encoded frames, and drives aggregation.
+//!
+//! # Topology
+//!
+//! ```text
+//!                    bounded sync_channel (mailbox_cap)
+//!        ┌────────────────────────────────────────────┐
+//!        │              GlobalModel frames            ▼
+//!   ┌──────────┐                                ┌───────────┐
+//!   │ platform │                                │ node actor│ × n
+//!   │event loop│                                └───────────┘
+//!   └──────────┘                ModelUpdate frames    │
+//!        ▲────────────────────────────────────────────┘
+//!                    shared uplink channel
+//! ```
+//!
+//! The platform never blocks without a timeout and never blocks on a
+//! send at all: broadcasts use `try_send` (a full or dead mailbox drops
+//! the frame and degrades the round), and the uplink is drained with
+//! `recv_timeout`. A crashed or wedged node thread therefore costs one
+//! timeout, not the run.
+//!
+//! # Modes
+//!
+//! **Barrier** waits for every expected update each round. When the
+//! fleet is fault-free and the gather policy is the default, it
+//! reproduces `train_from` of the driven trainer *bitwise* — including
+//! the reference implementation's quirk of evaluating the training
+//! curve at the re-aggregation of the post-broadcast local copies.
+//! With faults or a custom policy it routes every round through
+//! [`fml_core::gather::gather`] (deadline triage, validation, quorum,
+//! robust aggregation), degrading rounds instead of failing.
+//!
+//! **Async** buffers each upload until its virtual arrival round
+//! (round-start time plus seeded clock delay plus any scheduled
+//! straggle), then folds updates into the global model one at a time in
+//! `(arrival_time, node)` order with a staleness-decayed weight (see
+//! [`crate::AsyncPolicy`]). Updates staler than `max_staleness` are
+//! rejected and counted. Because arrival order is derived from the
+//! virtual clock — never from OS scheduling — results are bitwise
+//! identical at any worker-thread count.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
+use std::time::Duration;
+
+use bytes::Bytes;
+use fml_core::gather::{gather, screen_update, Submission, Validated};
+use fml_core::parallel::default_threads;
+use fml_core::{aggregate, Fault, LocalStepper, RoundRecord, SourceTask, TrainOutput};
+use fml_models::Model;
+use fml_sim::{Message, RoundTrace};
+
+use crate::actor::{worker_loop, NodeActor, WorkerCtx};
+use crate::config::{AsyncPolicy, Mode, RuntimeConfig};
+use crate::report::RuntimeReport;
+
+/// The actor runtime: spawns one logical actor per source node on a
+/// worker pool and runs the platform event loop to completion.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    cfg: RuntimeConfig,
+}
+
+/// A finished run: the training output (same shape as `train_from`)
+/// plus the runtime's observability report.
+#[derive(Debug, Clone)]
+pub struct RuntimeOutput {
+    /// Final parameters, history, and round counters.
+    pub train: TrainOutput,
+    /// Frames, bytes, staleness, rejections, per-round trace.
+    pub report: RuntimeReport,
+}
+
+/// An upload buffered until its virtual arrival round (async mode).
+struct Pending {
+    node: usize,
+    /// Round whose broadcast the update was computed from.
+    origin: usize,
+    /// Round the upload (virtually) reaches the platform.
+    arrive: usize,
+    /// Absolute virtual arrival time, for deterministic ordering.
+    arrival_time_s: f64,
+    params: Vec<f64>,
+}
+
+impl Runtime {
+    /// Creates a runtime with the given configuration.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        Runtime { cfg }
+    }
+
+    /// Borrow of the configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Runs the trainer's full round schedule over the actor fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tasks` is empty or `theta0` has the wrong length.
+    pub fn run(
+        &self,
+        stepper: &dyn LocalStepper,
+        model: &dyn Model,
+        tasks: &[SourceTask],
+        theta0: &[f64],
+    ) -> RuntimeOutput {
+        assert!(!tasks.is_empty(), "Runtime: no source tasks");
+        assert_eq!(
+            theta0.len(),
+            model.param_len(),
+            "Runtime: bad theta0 length"
+        );
+        let n = tasks.len();
+        let workers = self
+            .cfg
+            .threads
+            .unwrap_or_else(|| default_threads(n))
+            .min(n);
+        let rounds = stepper.rounds();
+        let local_steps = stepper.local_steps();
+
+        // One bounded mailbox per node; one shared uplink back. The
+        // uplink is unbounded so actors never block sending — it holds
+        // at most one frame per live node per round because the
+        // platform drains it every round.
+        let mut senders: Vec<SyncSender<Bytes>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<Bytes>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = sync_channel::<Bytes>(self.cfg.mailbox_cap);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let (uplink_tx, uplink_rx) = channel::<(usize, Bytes)>();
+
+        let ctx = WorkerCtx {
+            stepper,
+            model,
+            tasks,
+            faults: &self.cfg.faults,
+            rounds,
+            local_steps,
+            recv_timeout: Duration::from_millis(self.cfg.recv_timeout_ms),
+        };
+
+        std::thread::scope(|scope| {
+            // Contiguous chunks, one worker per chunk (the same layout
+            // as fml_core::parallel::map_ordered).
+            let chunk_len = n.div_ceil(workers);
+            let mut handles = Vec::with_capacity(workers);
+            let mut rx_iter = receivers.into_iter();
+            let mut next_node = 0usize;
+            while next_node < n {
+                let hi = (next_node + chunk_len).min(n);
+                let actors: Vec<NodeActor> = (next_node..hi)
+                    .map(|node| {
+                        NodeActor::new(node, rx_iter.next().expect("one receiver per node"))
+                    })
+                    .collect();
+                let uplink = uplink_tx.clone();
+                let ctx = &ctx;
+                handles.push(scope.spawn(move || worker_loop(ctx, actors, &uplink)));
+                next_node = hi;
+            }
+            drop(uplink_tx);
+
+            let mut platform = Platform {
+                cfg: &self.cfg,
+                stepper,
+                model,
+                tasks,
+                n,
+                rounds,
+                local_steps,
+                senders,
+                uplink: uplink_rx,
+                timeout: Duration::from_millis(self.cfg.recv_timeout_ms),
+                report: RuntimeReport {
+                    mode: match self.cfg.mode {
+                        Mode::Barrier => "barrier".into(),
+                        Mode::Async(_) => "async".into(),
+                    },
+                    threads: workers,
+                    ..RuntimeReport::default()
+                },
+                history: Vec::new(),
+                comm_rounds: 0,
+            };
+            let params = match self.cfg.mode {
+                Mode::Barrier => platform.run_barrier(theta0),
+                Mode::Async(policy) => platform.run_async(theta0, &policy),
+            };
+            // Drop the mailbox senders so idle actors see Disconnected
+            // and exit instead of waiting out their timeout.
+            platform.senders.clear();
+
+            let Platform {
+                mut report,
+                history,
+                comm_rounds,
+                ..
+            } = platform;
+            for handle in handles {
+                let outcome = handle.join().expect("runtime worker panicked");
+                report.decode_errors += outcome.decode_errors;
+                report.per_node.extend(outcome.io);
+            }
+            report.per_node.sort_by_key(|io| io.node);
+            report.degraded_rounds = report
+                .trace
+                .rounds()
+                .iter()
+                .filter(|r| r.degraded)
+                .count();
+
+            RuntimeOutput {
+                train: TrainOutput {
+                    params,
+                    history,
+                    comm_rounds,
+                    local_iterations: rounds * local_steps,
+                },
+                report,
+            }
+        })
+    }
+}
+
+/// The event loop's working state, borrowed for one run.
+struct Platform<'a> {
+    cfg: &'a RuntimeConfig,
+    stepper: &'a dyn LocalStepper,
+    model: &'a dyn Model,
+    tasks: &'a [SourceTask],
+    n: usize,
+    rounds: usize,
+    local_steps: usize,
+    senders: Vec<SyncSender<Bytes>>,
+    uplink: Receiver<(usize, Bytes)>,
+    timeout: Duration,
+    report: RuntimeReport,
+    history: Vec<RoundRecord>,
+    comm_rounds: usize,
+}
+
+impl Platform<'_> {
+    /// Nodes not scheduled to crash this round.
+    fn live_nodes(&self, round: usize) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&i| !matches!(self.cfg.faults.draw(i, round), Some(Fault::Crash)))
+            .collect()
+    }
+
+    /// Scheduled straggle delay for `(node, round)`, if any.
+    fn straggle_s(&self, node: usize, round: usize) -> f64 {
+        match self.cfg.faults.draw(node, round) {
+            Some(Fault::Straggle { delay_s }) => delay_s,
+            _ => 0.0,
+        }
+    }
+
+    /// Total virtual upload delay for `(node, round)`: clock + straggle.
+    fn upload_delay_s(&self, node: usize, round: usize) -> f64 {
+        self.cfg.clock.delay_s(node, round) + self.straggle_s(node, round)
+    }
+
+    /// Encodes and try-sends the global model to every live node.
+    /// Returns the nodes actually delivered to and the bytes sent.
+    fn broadcast(&mut self, round: usize, global: &[f64]) -> (Vec<usize>, u64) {
+        let frame = Message::GlobalModel {
+            round: round as u32,
+            params: global.to_vec(),
+        }
+        .encode();
+        let mut delivered = Vec::with_capacity(self.n);
+        let mut bytes = 0u64;
+        for &node in &self.live_nodes(round) {
+            // Never block the event loop on a slow consumer: a full or
+            // dead mailbox just loses this round's broadcast.
+            if self.senders[node].try_send(frame.clone()).is_ok() {
+                delivered.push(node);
+                bytes += frame.len() as u64;
+            } else {
+                self.report.undelivered += 1;
+            }
+        }
+        (delivered, bytes)
+    }
+
+    /// Drains the uplink until every node in `expected` has reported
+    /// for `round`, or the wall-clock timeout fires. Returns the
+    /// decoded updates and the bytes received.
+    fn collect(&mut self, round: usize, expected: &[usize]) -> (BTreeMap<usize, Vec<f64>>, u64) {
+        let mut got: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+        let mut bytes = 0u64;
+        while got.len() < expected.len() {
+            let Ok((_, frame)) = self.uplink.recv_timeout(self.timeout) else {
+                // Timeout or all workers gone: triage what we have.
+                break;
+            };
+            bytes += frame.len() as u64;
+            match Message::decode(&frame) {
+                Ok(Message::ModelUpdate {
+                    round: r,
+                    node,
+                    params,
+                }) => {
+                    let node = node as usize;
+                    if r as usize == round && expected.contains(&node) && !got.contains_key(&node)
+                    {
+                        got.insert(node, params);
+                    } else {
+                        // A frame for an already-closed round (or a
+                        // duplicate): its round has moved on without it.
+                        self.report.undelivered += 1;
+                    }
+                }
+                Ok(Message::GlobalModel { .. }) => self.report.undelivered += 1,
+                Err(_) => self.report.decode_errors += 1,
+            }
+        }
+        (got, bytes)
+    }
+
+    /// Appends a trace row for the round whose [`RoundRecord`] was just
+    /// pushed onto the history (loss/reporters/degraded come from it).
+    fn push_trace(&mut self, round: usize, participants: Vec<usize>, bytes: u64, comm_time_s: f64) {
+        let record = self.history.last().expect("trace follows a history record");
+        self.report.trace.push(RoundTrace {
+            round,
+            participants,
+            local_steps: self.local_steps,
+            bytes,
+            retransmissions: 0,
+            // Virtual time; the runtime does no compute modelling.
+            comm_time_s,
+            compute_time_s: 0.0,
+            meta_loss: record.meta_loss,
+            reporters: record.reporters,
+            degraded: record.degraded,
+        });
+    }
+
+    /// Counts updates folded into the global this round at staleness 0
+    /// (the only staleness barrier mode can apply at).
+    fn count_fresh_accepts(&mut self, count: u64) {
+        if self.report.staleness_hist.is_empty() {
+            self.report.staleness_hist.push(0);
+        }
+        self.report.staleness_hist[0] += count;
+    }
+
+    /// Lockstep rounds. Returns the final parameters.
+    fn run_barrier(&mut self, theta0: &[f64]) -> Vec<f64> {
+        // The bitwise-oracle fast path applies only when nothing can
+        // perturb the round: benign plan, default policy.
+        let exact_ok = self.cfg.faults.is_benign()
+            && self.cfg.gather == fml_core::GatherPolicy::default();
+        let mut global = theta0.to_vec();
+        let mut eval_params = theta0.to_vec();
+        let mut last_good: Vec<Option<Vec<f64>>> = vec![None; self.n];
+
+        for round in 1..=self.rounds {
+            let (delivered, down_bytes) = self.broadcast(round, &global);
+            let (got, up_bytes) = self.collect(round, &delivered);
+            let bytes = down_bytes + up_bytes;
+            let comm_time_s = got
+                .keys()
+                .map(|&i| self.upload_delay_s(i, round))
+                .fold(0.0f64, f64::max);
+
+            if exact_ok && got.len() == self.n {
+                // train_from replica: aggregate the locals, then record
+                // the curve at the re-aggregation of n copies of the
+                // new global (the reference's exact float ops).
+                let locals: Vec<Vec<f64>> =
+                    got.into_values().collect();
+                global = aggregate(self.tasks, &locals);
+                let copies: Vec<Vec<f64>> = vec![global.clone(); self.n];
+                let avg = aggregate(self.tasks, &copies);
+                let (meta_loss, train_loss) =
+                    self.stepper.eval_losses(self.model, self.tasks, &avg);
+                self.comm_rounds += 1;
+                self.history.push(RoundRecord {
+                    iteration: round * self.local_steps,
+                    meta_loss,
+                    train_loss,
+                    aggregated: true,
+                    reporters: self.n,
+                    degraded: false,
+                });
+                eval_params = avg;
+                self.count_fresh_accepts(self.n as u64);
+                self.push_trace(round, delivered, bytes, comm_time_s);
+                continue;
+            }
+
+            // Degraded path: full gather triage over what arrived.
+            let submissions: Vec<Submission> = (0..self.n)
+                .map(|i| match got.get(&i) {
+                    Some(update) => Submission {
+                        node: i,
+                        weight: self.tasks[i].weight,
+                        update: Some(update.clone()),
+                        delay_s: self.upload_delay_s(i, round),
+                        last_good: last_good[i].clone(),
+                    },
+                    None => Submission::crashed(i, self.tasks[i].weight),
+                })
+                .collect();
+            let (aggregated, reporters, degraded) =
+                match gather(round, self.n, &submissions, &self.cfg.gather) {
+                    Ok((params, round_report)) => {
+                        for (node, outcome) in &round_report.outcomes {
+                            if outcome.contributed() {
+                                if let Some(update) = got.get(node) {
+                                    last_good[*node] = Some(update.clone());
+                                }
+                            }
+                        }
+                        global = params;
+                        self.comm_rounds += 1;
+                        self.count_fresh_accepts(round_report.reporters as u64);
+                        (true, round_report.reporters, round_report.degraded)
+                    }
+                    // Quorum lost: keep the previous global, flag the
+                    // round, keep going — a thin fleet must degrade,
+                    // not hang or abort the run.
+                    Err(failure) => (false, failure.report.reporters, true),
+                };
+            let (meta_loss, train_loss) =
+                self.stepper.eval_losses(self.model, self.tasks, &global);
+            self.history.push(RoundRecord {
+                iteration: round * self.local_steps,
+                meta_loss,
+                train_loss,
+                aggregated,
+                reporters,
+                degraded,
+            });
+            eval_params = global.clone();
+            self.push_trace(round, delivered, bytes, comm_time_s);
+        }
+        eval_params
+    }
+
+    /// Bounded-staleness rounds. Returns the final parameters.
+    fn run_async(&mut self, theta0: &[f64], policy: &AsyncPolicy) -> Vec<f64> {
+        let mut global = theta0.to_vec();
+        let mut pending: Vec<Pending> = Vec::new();
+        let round_s = self.cfg.round_duration_s;
+
+        for round in 1..=self.rounds {
+            let (delivered, down_bytes) = self.broadcast(round, &global);
+            let (got, up_bytes) = self.collect(round, &delivered);
+            let bytes = down_bytes + up_bytes;
+
+            // Stamp each physical arrival with its *virtual* arrival
+            // round: round-start time plus the seeded upload delay.
+            for (node, params) in got {
+                let delay = self.upload_delay_s(node, round);
+                let arrival_time_s = (round - 1) as f64 * round_s + delay;
+                let arrive = (arrival_time_s / round_s).floor() as usize + 1;
+                pending.push(Pending {
+                    node,
+                    origin: round,
+                    arrive: arrive.max(round),
+                    arrival_time_s,
+                    params,
+                });
+            }
+
+            // Everything due this round, in deterministic virtual
+            // arrival order — OS scheduling cannot influence this.
+            let (mut due, rest): (Vec<Pending>, Vec<Pending>) =
+                pending.drain(..).partition(|p| p.arrive <= round);
+            pending = rest;
+            due.sort_by(|a, b| {
+                a.arrival_time_s
+                    .total_cmp(&b.arrival_time_s)
+                    .then(a.node.cmp(&b.node))
+            });
+
+            let mut applied = 0usize;
+            let mut comm_time_s = 0.0f64;
+            for mut p in due {
+                let staleness = round - p.origin;
+                if staleness > policy.max_staleness {
+                    self.report.rejected_stale += 1;
+                    continue;
+                }
+                if screen_update(&mut p.params, &self.cfg.gather.validation)
+                    == Validated::Rejected
+                {
+                    self.report.rejected_invalid += 1;
+                    continue;
+                }
+                let w = policy.weight(self.tasks[p.node].weight, self.n, staleness);
+                for (g, &u) in global.iter_mut().zip(&p.params) {
+                    *g = (1.0 - w) * *g + w * u;
+                }
+                if staleness >= self.report.staleness_hist.len() {
+                    self.report.staleness_hist.resize(staleness + 1, 0);
+                }
+                self.report.staleness_hist[staleness] += 1;
+                applied += 1;
+                comm_time_s =
+                    comm_time_s.max(p.arrival_time_s - (p.origin - 1) as f64 * round_s);
+            }
+
+            let required = self.cfg.gather.required_reporters(self.n);
+            let degraded = applied < required || delivered.len() < self.n;
+            if applied > 0 {
+                self.comm_rounds += 1;
+            }
+            let (meta_loss, train_loss) =
+                self.stepper.eval_losses(self.model, self.tasks, &global);
+            self.history.push(RoundRecord {
+                iteration: round * self.local_steps,
+                meta_loss,
+                train_loss,
+                aggregated: applied > 0,
+                reporters: applied,
+                degraded,
+            });
+            self.push_trace(round, delivered, bytes, comm_time_s);
+        }
+
+        // Uploads still in (virtual) flight when the schedule ended.
+        self.report.undelivered += pending.len() as u64;
+        global
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VirtualClock;
+    use fml_core::{FaultPlan, FedMl, FedMlConfig, SourceTask};
+    use fml_data::synthetic::SyntheticConfig;
+    use fml_models::SoftmaxRegression;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(nodes: usize) -> (SoftmaxRegression, Vec<SourceTask>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(41);
+        let fed = SyntheticConfig::new(0.5, 0.5)
+            .with_nodes(nodes)
+            .with_dim(5)
+            .with_classes(3)
+            .generate(&mut rng);
+        let tasks = SourceTask::from_nodes(fed.nodes(), 5, &mut rng);
+        let model = SoftmaxRegression::new(5, 3);
+        let theta0 = model.init_params(&mut rng);
+        (model, tasks, theta0)
+    }
+
+    fn fedml(rounds: usize) -> FedMl {
+        FedMl::new(
+            FedMlConfig::new(0.05, 0.05)
+                .with_rounds(rounds)
+                .with_local_steps(2)
+                .with_record_every(0),
+        )
+    }
+
+    #[test]
+    fn barrier_reproduces_train_from_bitwise() {
+        let (model, tasks, theta0) = setup(4);
+        let trainer = fedml(3);
+        let reference = trainer.train_from(&model, &tasks, &theta0);
+        let out = Runtime::new(RuntimeConfig::barrier(1)).run(&trainer, &model, &tasks, &theta0);
+        assert_eq!(out.train.params, reference.params);
+        assert_eq!(out.train.history, reference.history);
+        assert_eq!(out.train.comm_rounds, reference.comm_rounds);
+    }
+
+    #[test]
+    fn barrier_counts_every_frame() {
+        let (model, tasks, theta0) = setup(3);
+        let trainer = fedml(4);
+        let out = Runtime::new(RuntimeConfig::barrier(1)).run(&trainer, &model, &tasks, &theta0);
+        for io in &out.report.per_node {
+            assert_eq!(io.frames_received, 4, "one broadcast per round");
+            assert_eq!(io.frames_sent, 4, "one update per round");
+            assert!(io.bytes_sent > 0 && io.bytes_received > 0);
+        }
+        assert_eq!(out.report.decode_errors, 0);
+        assert_eq!(out.report.trace.len(), 4);
+        assert_eq!(out.report.mode, "barrier");
+    }
+
+    #[test]
+    fn async_mode_never_exceeds_staleness_bound() {
+        let (model, tasks, theta0) = setup(4);
+        let trainer = fedml(8);
+        let policy = AsyncPolicy::default().with_max_staleness(1);
+        let cfg = RuntimeConfig::async_mode(5, policy)
+            .with_round_duration(1.0)
+            .with_clock(VirtualClock::new(5).with_base_delay(0.1).with_jitter(3.0));
+        let out = Runtime::new(cfg).run(&trainer, &model, &tasks, &theta0);
+        assert!(out.report.staleness_hist.len() <= 2);
+        assert!(out.report.accepted_updates() > 0);
+        // With jitter up to 3 rounds, some uploads must have exceeded
+        // the bound of 1 and been dropped.
+        assert!(out.report.rejected_stale > 0);
+        assert!(out.train.params.iter().all(|x| x.is_finite()));
+        assert_eq!(out.report.mode, "async");
+    }
+
+    #[test]
+    fn crashed_fleet_degrades_and_terminates() {
+        let (model, tasks, theta0) = setup(4);
+        let trainer = fedml(3);
+        let cfg = RuntimeConfig::barrier(2)
+            .with_faults(FaultPlan::new(2).with_crash_from(1, 1).with_crash_from(2, 1))
+            .with_recv_timeout_ms(5_000);
+        let out = Runtime::new(cfg).run(&trainer, &model, &tasks, &theta0);
+        assert_eq!(out.report.degraded_rounds, 3, "every round misses nodes");
+        assert_eq!(out.train.history.len(), 3);
+        assert!(out.train.history.iter().all(|r| r.degraded));
+        assert!(out.train.params.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (model, tasks, theta0) = setup(5);
+        let trainer = fedml(3);
+        let one = Runtime::new(RuntimeConfig::barrier(9).with_threads(1))
+            .run(&trainer, &model, &tasks, &theta0);
+        let four = Runtime::new(RuntimeConfig::barrier(9).with_threads(4))
+            .run(&trainer, &model, &tasks, &theta0);
+        assert_eq!(one.train.params, four.train.params);
+        assert_eq!(one.train.history, four.train.history);
+        assert_eq!(one.report.threads, 1);
+        assert_eq!(four.report.threads, 4);
+    }
+}

@@ -1,0 +1,143 @@
+//! Runtime observability: per-node I/O counters, staleness histogram,
+//! rejection counts, and a per-round [`TraceLog`] shared with `fml-sim`.
+
+use serde::{Deserialize, Serialize};
+
+use fml_sim::TraceLog;
+
+/// Frame and byte counters for one node actor, measured at the node
+/// (received broadcasts, sent updates).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeIo {
+    /// Node id (index into the task list).
+    pub node: usize,
+    /// Update frames the node encoded and sent.
+    pub frames_sent: u64,
+    /// Broadcast frames the node received and decoded.
+    pub frames_received: u64,
+    /// Bytes of encoded update frames sent.
+    pub bytes_sent: u64,
+    /// Bytes of encoded broadcast frames received.
+    pub bytes_received: u64,
+}
+
+/// What the platform observed over a whole run.
+///
+/// Serializable so the CLI can embed it in its JSON report; the
+/// per-round view reuses [`fml_sim::RoundTrace`] so existing trace
+/// tooling (jsonl round logs, regression scans) works on runtime
+/// output unchanged.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeReport {
+    /// `"barrier"` or `"async"`.
+    pub mode: String,
+    /// Worker OS threads the node actors ran on.
+    pub threads: usize,
+    /// Per-node frame/byte counters, indexed by node id.
+    pub per_node: Vec<NodeIo>,
+    /// `staleness_hist[s]` = accepted updates applied at staleness `s`.
+    /// Never longer than `max_staleness + 1` — the bound is structural.
+    pub staleness_hist: Vec<u64>,
+    /// Updates dropped for exceeding `max_staleness`.
+    pub rejected_stale: u64,
+    /// Updates dropped by validation (non-finite screening).
+    pub rejected_invalid: u64,
+    /// Frames that failed [`fml_sim::Message::decode`] on either side.
+    pub decode_errors: u64,
+    /// Frames that never reached their consumer: full or disconnected
+    /// mailboxes, uploads still in flight at shutdown, and physical
+    /// arrivals after their round was already closed out.
+    pub undelivered: u64,
+    /// Rounds flagged degraded (missing reporters, rejected updates, or
+    /// a skipped aggregation).
+    pub degraded_rounds: usize,
+    /// Per-round trace in `fml-sim`'s flight-recorder format.
+    pub trace: TraceLog,
+}
+
+impl RuntimeReport {
+    /// Total frames moved (both directions, node-side count).
+    pub fn total_frames(&self) -> u64 {
+        self.per_node
+            .iter()
+            .map(|n| n.frames_sent + n.frames_received)
+            .sum()
+    }
+
+    /// Total bytes moved (both directions, node-side count).
+    pub fn total_bytes(&self) -> u64 {
+        self.per_node
+            .iter()
+            .map(|n| n.bytes_sent + n.bytes_received)
+            .sum()
+    }
+
+    /// Accepted updates across all staleness levels.
+    pub fn accepted_updates(&self) -> u64 {
+        self.staleness_hist.iter().sum()
+    }
+
+    /// The largest staleness at which an update was actually applied.
+    /// `None` when nothing was accepted.
+    pub fn max_applied_staleness(&self) -> Option<usize> {
+        self.staleness_hist
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &c)| c > 0)
+            .map(|(s, _)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RuntimeReport {
+        RuntimeReport {
+            mode: "async".into(),
+            threads: 4,
+            per_node: vec![
+                NodeIo {
+                    node: 0,
+                    frames_sent: 10,
+                    frames_received: 10,
+                    bytes_sent: 1000,
+                    bytes_received: 990,
+                },
+                NodeIo {
+                    node: 1,
+                    frames_sent: 8,
+                    frames_received: 10,
+                    bytes_sent: 800,
+                    bytes_received: 990,
+                },
+            ],
+            staleness_hist: vec![12, 4, 0, 2],
+            rejected_stale: 3,
+            rejected_invalid: 1,
+            decode_errors: 0,
+            undelivered: 2,
+            degraded_rounds: 1,
+            trace: TraceLog::new(),
+        }
+    }
+
+    #[test]
+    fn totals_and_staleness_summaries() {
+        let r = sample();
+        assert_eq!(r.total_frames(), 38);
+        assert_eq!(r.total_bytes(), 3780);
+        assert_eq!(r.accepted_updates(), 18);
+        assert_eq!(r.max_applied_staleness(), Some(3));
+        assert_eq!(RuntimeReport::default().max_applied_staleness(), None);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RuntimeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

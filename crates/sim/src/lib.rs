@@ -30,7 +30,7 @@ pub mod trace;
 
 pub use adaptive::{run_adaptive_fedml, AdaptiveOutput, AdaptiveT0Config};
 pub use energy::{EnergyModel, EnergyStats};
-pub use message::Message;
+pub use message::{Message, PROTOCOL_VERSION};
 pub use network::{LinkModel, Network, IDEAL_BANDWIDTH_BPS};
 pub use runner::{EdgeProfile, SimConfig, SimOutput, SimRunner, DERIVED_DEADLINE_HEADROOM};
 pub use stats::{CommStats, ComputeStats};

@@ -3,17 +3,37 @@
 //! Messages are encoded as length-prefixed binary frames:
 //!
 //! ```text
-//! [ tag: u8 ][ round: u32 ][ node: u32 ][ len: u32 ][ f64 × len ]
+//! [ version: u8 ][ tag: u8 ][ round: u32 ][ node: u32 ][ len: u32 ][ f64 × len ]
 //! ```
 //!
 //! All integers and floats are little-endian. The format exists so that
 //! the simulator's communication accounting reflects *actual serialized
 //! bytes* — the quantity a real deployment pays for on the uplink.
+//!
+//! # Versioning
+//!
+//! The leading version byte is `0x80 | version` — its high bit is set,
+//! which no message tag ever has, so a decoder can tell a versioned
+//! frame from a legacy (v0) frame by inspecting the first byte alone.
+//! Legacy frames start directly at the tag byte and are still accepted:
+//! an absent version byte means v0. Encoders emit
+//! [`PROTOCOL_VERSION`]; decoders accept v0 and v1 (the layouts are
+//! identical after the version byte) and reject anything newer with
+//! [`DecodeError::UnsupportedVersion`].
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-/// Frame header size in bytes (tag + round + node + len).
+/// Frame header size in bytes *excluding* the version byte
+/// (tag + round + node + len). A v0 frame is exactly this long when
+/// empty; a versioned frame carries one extra leading byte.
 pub const HEADER_LEN: usize = 1 + 4 + 4 + 4;
+
+/// Protocol version emitted by [`Message::encode`].
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// High bit marking the first byte of a frame as a version byte rather
+/// than a (legacy, v0) tag byte.
+const VERSION_MARKER: u8 = 0x80;
 
 const TAG_GLOBAL: u8 = 1;
 const TAG_UPDATE: u8 = 2;
@@ -54,6 +74,9 @@ pub enum DecodeError {
         /// Bytes actually present.
         actual: usize,
     },
+    /// The frame declares a protocol version this decoder does not
+    /// understand (newer than [`PROTOCOL_VERSION`]).
+    UnsupportedVersion(u8),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -66,6 +89,9 @@ impl std::fmt::Display for DecodeError {
                     f,
                     "payload length mismatch: expected {expected}, got {actual}"
                 )
+            }
+            DecodeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported protocol version {v}")
             }
         }
     }
@@ -88,14 +114,30 @@ impl Message {
         }
     }
 
-    /// Serialized size in bytes (what the link will be charged).
+    /// Serialized size in bytes (what the link will be charged):
+    /// version byte + header + payload.
     pub fn encoded_len(&self) -> usize {
-        HEADER_LEN + 8 * self.params().len()
+        1 + HEADER_LEN + 8 * self.params().len()
     }
 
-    /// Encodes into a binary frame.
+    /// Encodes into a binary frame at the current [`PROTOCOL_VERSION`].
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u8(VERSION_MARKER | PROTOCOL_VERSION);
+        self.encode_body(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encodes into a legacy v0 frame (no version byte). Kept so
+    /// compatibility with pre-versioning peers can be tested: every v0
+    /// frame must keep decoding forever.
+    pub fn encode_v0(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len() - 1);
+        self.encode_body(&mut buf);
+        buf.freeze()
+    }
+
+    fn encode_body(&self, buf: &mut BytesMut) {
         match self {
             Message::GlobalModel { round, params } => {
                 buf.put_u8(TAG_GLOBAL);
@@ -120,16 +162,26 @@ impl Message {
                 }
             }
         }
-        buf.freeze()
     }
 
-    /// Decodes a binary frame.
+    /// Decodes a binary frame (versioned or legacy v0).
     ///
     /// # Errors
     ///
-    /// Returns a [`DecodeError`] for truncated frames, unknown tags, or
-    /// length mismatches.
+    /// Returns a [`DecodeError`] for truncated frames, unknown tags,
+    /// unsupported versions, or length mismatches.
     pub fn decode(mut frame: &[u8]) -> Result<Self, DecodeError> {
+        // A version byte has its high bit set; tags never do. An absent
+        // version byte therefore unambiguously means a legacy v0 frame.
+        if let Some(&first) = frame.first() {
+            if first & VERSION_MARKER != 0 {
+                let version = first & !VERSION_MARKER;
+                if version == 0 || version > PROTOCOL_VERSION {
+                    return Err(DecodeError::UnsupportedVersion(version));
+                }
+                frame = &frame[1..];
+            }
+        }
         if frame.len() < HEADER_LEN {
             return Err(DecodeError::Truncated);
         }
@@ -206,13 +258,15 @@ mod tests {
             round: 0,
             params: vec![],
         };
-        assert_eq!(m.encoded_len(), HEADER_LEN);
+        assert_eq!(m.encoded_len(), 1 + HEADER_LEN);
         assert_eq!(Message::decode(&m.encode()).unwrap(), m);
     }
 
     #[test]
     fn truncated_frame_rejected() {
         assert_eq!(Message::decode(&[1, 2, 3]), Err(DecodeError::Truncated));
+        // A bare version byte is also shorter than any legal frame.
+        assert_eq!(Message::decode(&[0x81]), Err(DecodeError::Truncated));
     }
 
     #[test]
@@ -223,8 +277,55 @@ mod tests {
         }
         .encode()
         .to_vec();
-        bytes[0] = 99;
+        // Byte 0 is the version byte; byte 1 is the tag.
+        bytes[1] = 99;
         assert_eq!(Message::decode(&bytes), Err(DecodeError::UnknownTag(99)));
+    }
+
+    #[test]
+    fn v0_frame_still_decodes() {
+        // Frames from pre-versioning peers (no leading version byte)
+        // must keep decoding forever.
+        let m = Message::ModelUpdate {
+            round: 9,
+            node: 3,
+            params: vec![1.0, -2.0],
+        };
+        let legacy = m.encode_v0();
+        assert_eq!(legacy.len(), m.encoded_len() - 1);
+        assert_eq!(legacy[0], 2, "v0 frames start at the tag byte");
+        assert_eq!(Message::decode(&legacy).unwrap(), m);
+    }
+
+    #[test]
+    fn encode_emits_current_version() {
+        let bytes = Message::GlobalModel {
+            round: 1,
+            params: vec![0.5],
+        }
+        .encode();
+        assert_eq!(bytes[0], 0x80 | PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let m = Message::GlobalModel {
+            round: 1,
+            params: vec![0.5],
+        };
+        let mut bytes = m.encode().to_vec();
+        bytes[0] = 0x80 | (PROTOCOL_VERSION + 1);
+        assert_eq!(
+            Message::decode(&bytes),
+            Err(DecodeError::UnsupportedVersion(PROTOCOL_VERSION + 1))
+        );
+        // An explicit version-0 marker is malformed too: v0 is defined
+        // as the *absence* of the version byte.
+        bytes[0] = 0x80;
+        assert_eq!(
+            Message::decode(&bytes),
+            Err(DecodeError::UnsupportedVersion(0))
+        );
     }
 
     #[test]
@@ -322,7 +423,10 @@ mod tests {
 
         #[test]
         fn prop_decode_never_panics_on_mangled_header(
-            tag in 0u8..=255,
+            // High-bit-set first bytes are version markers and shift the
+            // header layout; the lying-length property below is stated
+            // for tag-first (v0) frames.
+            tag in 0u8..0x80,
             len_field in 0u32..u32::MAX,
             body in proptest::collection::vec(0u8..=255, 0..64),
         ) {
@@ -336,6 +440,33 @@ mod tests {
             if 8 * (len_field as u64) != body.len() as u64 {
                 prop_assert!(decoded.is_err(), "lying length must be rejected");
             }
+        }
+
+        #[test]
+        fn prop_v0_frames_still_decode(
+            round in 0u32..u32::MAX,
+            node in 0u32..u32::MAX,
+            params in proptest::collection::vec(-1e12f64..1e12, 0..64),
+        ) {
+            // Backward compatibility: every legacy (unversioned) frame
+            // decodes to the same message as its versioned encoding.
+            let m = Message::ModelUpdate { round, node, params };
+            prop_assert_eq!(Message::decode(&m.encode_v0()).unwrap(), m.clone());
+            let g = Message::GlobalModel { round, params: m.params().to_vec() };
+            prop_assert_eq!(Message::decode(&g.encode_v0()).unwrap(), g);
+        }
+
+        #[test]
+        fn prop_versioned_and_v0_agree(
+            round in 0u32..1000u32,
+            params in proptest::collection::vec(-1.0f64..1.0, 0..32),
+        ) {
+            // The versioned frame is exactly the v0 frame plus one
+            // leading byte — the body layout did not change.
+            let m = Message::GlobalModel { round, params };
+            let v1 = m.encode();
+            let v0 = m.encode_v0();
+            prop_assert_eq!(&v1[1..], &v0[..]);
         }
     }
 }

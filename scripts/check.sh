@@ -9,4 +9,5 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
 "$(dirname "$0")/bench_smoke.sh"
 "$(dirname "$0")/fault_smoke.sh"
+"$(dirname "$0")/runtime_smoke.sh"
 echo "check: OK"

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Runtime smoke gate: lint the actor-runtime crate with warnings fatal,
+# then run the runtime test surface — the fml-runtime unit suites
+# (barrier bitwise equivalence, staleness bound, crash degradation,
+# thread-count determinism), the CLI runtime subcommand path, the
+# cross-crate acceptance tests, and the runtime bench bodies once each.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo clippy -p fml-runtime -p fml-cli --all-targets -- -D warnings
+cargo test -p fml-runtime -q
+cargo test -p fml-cli --lib -q -- runtime
+cargo test -p fml-integration --test runtime -q
+cargo bench -p fml-bench --bench runtime -- --test
+echo "runtime smoke: OK"

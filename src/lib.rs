@@ -15,6 +15,7 @@ pub use fml_data as data;
 pub use fml_dro as dro;
 pub use fml_linalg as linalg;
 pub use fml_models as models;
+pub use fml_runtime as runtime;
 pub use fml_sim as sim;
 
 /// The most common imports for building a federated meta-learning

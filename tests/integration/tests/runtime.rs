@@ -1,0 +1,199 @@
+//! Cross-crate tests for the `fml-runtime` actor runtime.
+//!
+//! The barrier mode's contract is the strongest one in the workspace: a
+//! thread-per-node run over encoded wire frames must be **bitwise**
+//! indistinguishable from the in-process `train_from` oracle — exact
+//! parameter bits and the exact recorded curve. Async mode trades that
+//! equivalence for liveness; its contracts are the staleness bound, crash
+//! tolerance, and thread-count determinism, all checked here as
+//! properties over seeds.
+
+use fml_core::{FaultPlan, FedAvg, FedAvgConfig, FedMl, FedMlConfig, LocalStepper, SourceTask};
+use fml_data::synthetic::SyntheticConfig;
+use fml_models::{Model, SoftmaxRegression};
+use fml_runtime::{AsyncPolicy, Runtime, RuntimeConfig, VirtualClock};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const NODES: usize = 6;
+const DIM: usize = 5;
+const CLASSES: usize = 3;
+
+fn fixture(seed: u64) -> (SoftmaxRegression, Vec<SourceTask>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fed = SyntheticConfig::new(0.5, 0.5)
+        .with_nodes(NODES)
+        .with_dim(DIM)
+        .with_classes(CLASSES)
+        .generate(&mut rng);
+    let tasks = SourceTask::from_nodes(fed.nodes(), 5, &mut rng);
+    let model = SoftmaxRegression::new(DIM, CLASSES).with_l2(1e-3);
+    let theta0 = model.init_params(&mut rng);
+    (model, tasks, theta0)
+}
+
+fn fedml(rounds: usize) -> FedMl {
+    FedMl::new(
+        FedMlConfig::new(0.05, 0.05)
+            .with_rounds(rounds)
+            .with_local_steps(2)
+            .with_record_every(0),
+    )
+}
+
+fn fedavg(rounds: usize) -> FedAvg {
+    FedAvg::new(
+        FedAvgConfig::new(0.05)
+            .with_rounds(rounds)
+            .with_local_steps(2)
+            .with_record_every(0),
+    )
+}
+
+#[test]
+fn barrier_matches_fedml_train_from_bitwise() {
+    let (model, tasks, theta0) = fixture(11);
+    let trainer = fedml(4);
+    let reference = trainer.train_from(&model, &tasks, &theta0);
+    let out = Runtime::new(RuntimeConfig::barrier(1)).run(&trainer, &model, &tasks, &theta0);
+    assert_eq!(out.train.params, reference.params, "params must be bitwise equal");
+    assert_eq!(out.train.history, reference.history, "curve must be bitwise equal");
+    assert_eq!(out.train.comm_rounds, reference.comm_rounds);
+    assert_eq!(out.train.local_iterations, reference.local_iterations);
+}
+
+#[test]
+fn barrier_matches_fedavg_train_from_bitwise() {
+    let (model, tasks, theta0) = fixture(12);
+    let trainer = fedavg(4);
+    let reference = trainer.train_from(&model, &tasks, &theta0);
+    let out = Runtime::new(RuntimeConfig::barrier(1)).run(&trainer, &model, &tasks, &theta0);
+    assert_eq!(out.train.params, reference.params, "params must be bitwise equal");
+    assert_eq!(out.train.history, reference.history, "curve must be bitwise equal");
+    assert_eq!(out.train.comm_rounds, reference.comm_rounds);
+}
+
+#[test]
+fn barrier_equivalence_holds_across_thread_counts() {
+    let (model, tasks, theta0) = fixture(13);
+    let trainer = fedml(3);
+    let reference = trainer.train_from(&model, &tasks, &theta0);
+    for threads in [1, 2, 4] {
+        let cfg = RuntimeConfig::barrier(7).with_threads(threads);
+        let out = Runtime::new(cfg).run(&trainer, &model, &tasks, &theta0);
+        assert_eq!(out.train.params, reference.params, "{threads} threads");
+        assert_eq!(out.train.history, reference.history, "{threads} threads");
+    }
+}
+
+#[test]
+fn every_frame_crosses_the_wire_encoded() {
+    let (model, tasks, theta0) = fixture(14);
+    let trainer = fedml(3);
+    let out = Runtime::new(RuntimeConfig::barrier(1)).run(&trainer, &model, &tasks, &theta0);
+    // One broadcast down and one update up per node per round, every one
+    // of them an encoded frame whose bytes the report accounts for.
+    let frame_len = fml_sim::Message::GlobalModel {
+        round: 1,
+        params: theta0.clone(),
+    }
+    .encoded_len() as u64;
+    for io in &out.report.per_node {
+        assert_eq!(io.frames_sent, 3);
+        assert_eq!(io.frames_received, 3);
+        assert_eq!(io.bytes_received, 3 * frame_len);
+    }
+    assert_eq!(out.report.decode_errors, 0);
+    assert_eq!(out.report.undelivered, 0);
+}
+
+#[test]
+fn async_crash_plan_terminates_with_degraded_rounds() {
+    let (model, tasks, theta0) = fixture(15);
+    let trainer = fedml(4);
+    let cfg = RuntimeConfig::async_mode(3, AsyncPolicy::default())
+        .with_faults(FaultPlan::new(9).with_crash_from(0, 1).with_crash_from(1, 2))
+        .with_recv_timeout_ms(5_000);
+    let out = Runtime::new(cfg).run(&trainer, &model, &tasks, &theta0);
+    assert_eq!(out.train.comm_rounds, 4, "run must complete all rounds");
+    assert!(out.report.degraded_rounds > 0, "crashes must degrade rounds");
+    assert!(out.train.params.iter().all(|x| x.is_finite()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The staleness histogram never has a bucket past `max_staleness`,
+    /// no matter the seed, bound, or jitter.
+    #[test]
+    fn prop_async_staleness_bound_is_never_exceeded(
+        seed in 0u64..1000,
+        max_staleness in 0usize..4,
+        jitter in 0.0f64..4.0,
+    ) {
+        let (model, tasks, theta0) = fixture(seed ^ 0xA5);
+        let trainer = fedml(5);
+        let policy = AsyncPolicy::default().with_max_staleness(max_staleness);
+        let cfg = RuntimeConfig::async_mode(seed, policy)
+            .with_clock(VirtualClock::new(seed).with_base_delay(0.1).with_jitter(jitter));
+        let out = Runtime::new(cfg).run(&trainer, &model, &tasks, &theta0);
+        prop_assert!(
+            out.report.staleness_hist.len() <= max_staleness + 1,
+            "bucket past the bound: {:?}", out.report.staleness_hist
+        );
+        prop_assert!(
+            out.report.max_applied_staleness().is_none_or(|s| s <= max_staleness)
+        );
+        prop_assert!(out.train.params.iter().all(|x| x.is_finite()));
+    }
+
+    /// Async runs under a crash plan always terminate — the platform never
+    /// waits on a node the plan killed — and count the loss as degradation.
+    #[test]
+    fn prop_async_crashes_degrade_but_never_hang(
+        seed in 0u64..1000,
+        victim in 0usize..NODES,
+        from_round in 1usize..3,
+    ) {
+        let (model, tasks, theta0) = fixture(seed ^ 0x5A);
+        let trainer = fedml(3);
+        let cfg = RuntimeConfig::async_mode(seed, AsyncPolicy::default())
+            .with_faults(FaultPlan::new(seed).with_crash_from(victim, from_round))
+            .with_recv_timeout_ms(5_000);
+        let out = Runtime::new(cfg).run(&trainer, &model, &tasks, &theta0);
+        prop_assert_eq!(out.train.comm_rounds, 3);
+        prop_assert!(out.report.degraded_rounds > 0);
+        prop_assert!(out.train.params.iter().all(|x| x.is_finite()));
+    }
+
+    /// Virtual time, not OS scheduling, orders async aggregation: one
+    /// worker thread and four produce bitwise identical results.
+    #[test]
+    fn prop_async_is_deterministic_across_thread_counts(
+        seed in 0u64..1000,
+        jitter in 0.0f64..3.0,
+    ) {
+        let (model, tasks, theta0) = fixture(seed ^ 0xC3);
+        let trainer = fedml(4);
+        let base = RuntimeConfig::async_mode(seed, AsyncPolicy::default())
+            .with_clock(VirtualClock::new(seed).with_base_delay(0.1).with_jitter(jitter));
+        let one = Runtime::new(base.clone().with_threads(1))
+            .run(&trainer, &model, &tasks, &theta0);
+        let four = Runtime::new(base.with_threads(4))
+            .run(&trainer, &model, &tasks, &theta0);
+        prop_assert_eq!(one.train.params, four.train.params);
+        prop_assert_eq!(one.report.staleness_hist, four.report.staleness_hist);
+        prop_assert_eq!(one.report.rejected_stale, four.report.rejected_stale);
+        prop_assert_eq!(one.report.accepted_updates(), four.report.accepted_updates());
+    }
+}
+
+#[test]
+fn stepper_trait_exposes_training_shape() {
+    let trainer = fedml(4);
+    let stepper: &dyn LocalStepper = &trainer;
+    assert_eq!(stepper.algorithm(), "FedML");
+    assert_eq!(stepper.rounds(), 4);
+    assert_eq!(stepper.local_steps(), 2);
+}
