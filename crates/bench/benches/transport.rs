@@ -1,0 +1,222 @@
+//! Criterion benches on the transport seam: the cost of moving one
+//! wire frame over each `Transport` (in-process channel vs Unix domain
+//! socket vs TCP loopback), and of a whole barrier federation when the
+//! same rounds run over real sockets instead of channels. Timed runs
+//! write a `transport` section to `BENCH_pr4.json` at the repository
+//! root (skipped in `--test` mode).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use fml_core::{FedMl, FedMlConfig, SourceTask};
+use fml_models::{Model, SoftmaxRegression};
+use fml_runtime::{
+    ChannelTransport, Runtime, RuntimeConfig, TcpTransport, TcpTransportListener, Transport,
+    TransportListener, UnixTransport, UnixTransportListener,
+};
+use fml_sim::Message;
+use rand::SeedableRng;
+
+const DIM: usize = 20;
+const CLASSES: usize = 5;
+const NODES: usize = 6;
+const ROUNDS: usize = 2;
+
+fn setup() -> (SoftmaxRegression, Vec<SourceTask>, Vec<f64>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let fed = fml_data::synthetic::SyntheticConfig::new(0.5, 0.5)
+        .with_nodes(NODES)
+        .with_dim(DIM)
+        .with_classes(CLASSES)
+        .with_mean_samples(16.0)
+        .generate(&mut rng);
+    let tasks = SourceTask::from_nodes_deterministic(fed.nodes(), 5);
+    let model = SoftmaxRegression::new(DIM, CLASSES).with_l2(1e-3);
+    let theta0 = model.init_params(&mut rng);
+    (model, tasks, theta0)
+}
+
+fn trainer() -> FedMl {
+    FedMl::new(
+        FedMlConfig::new(0.01, 0.01)
+            .with_local_steps(5)
+            .with_rounds(ROUNDS)
+            .with_record_every(0),
+    )
+}
+
+fn uds_path() -> String {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir()
+        .join(format!("fml-bench-{}-{}.sock", std::process::id(), seq))
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// One connected (platform-end, node-end) pair of the given transport.
+fn pair(kind: &str) -> (Box<dyn Transport>, Box<dyn Transport>) {
+    match kind {
+        "channel" => {
+            let (a, b) = ChannelTransport::pair(4);
+            (Box::new(a), Box::new(b))
+        }
+        "tcp" => {
+            let mut l = TcpTransportListener::bind("127.0.0.1:0").unwrap();
+            let node = TcpTransport::connect(&l.local_addr()).unwrap();
+            let plat = l.accept(Duration::from_secs(5)).unwrap();
+            (plat, Box::new(node))
+        }
+        "uds" => {
+            let path = uds_path();
+            let mut l = UnixTransportListener::bind(&path).unwrap();
+            let node = UnixTransport::connect(&path).unwrap();
+            let plat = l.accept(Duration::from_secs(5)).unwrap();
+            (plat, Box::new(node))
+        }
+        other => panic!("unknown transport {other}"),
+    }
+}
+
+/// Round-trip of one softmax-sized frame: platform → node and back,
+/// the per-hop cost every federated round pays once per node.
+fn bench_frame_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_hop");
+    let params: Vec<f64> = (0..DIM * CLASSES + CLASSES).map(|i| i as f64 * 0.25).collect();
+    let down = Message::GlobalModel { round: 1, params: params.clone() }.encode();
+    let up = Message::ModelUpdate { round: 1, node: 0, params }.encode();
+    for kind in ["channel", "uds", "tcp"] {
+        let (mut plat, mut node) = pair(kind);
+        group.bench_function(kind, |b| {
+            b.iter(|| {
+                plat.send_frame(black_box(&down)).unwrap();
+                let bcast = node.recv_frame(Duration::from_secs(5)).unwrap();
+                node.send_frame(black_box(&up)).unwrap();
+                let reply = plat.recv_frame(Duration::from_secs(5)).unwrap();
+                (bcast, reply)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A whole barrier federation per iteration: the channel runtime vs
+/// `serve` with every node in its own thread behind a real socket
+/// (including connect/accept setup — the cost a deployment pays once).
+fn bench_distributed_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_rounds");
+    let (model, tasks, theta0) = setup();
+    let fedml = trainer();
+
+    group.bench_with_input(BenchmarkId::new("barrier", "channel"), &(), |b, ()| {
+        b.iter(|| {
+            Runtime::new(RuntimeConfig::barrier(1).with_threads(NODES)).run(
+                &fedml,
+                &model,
+                black_box(&tasks),
+                &theta0,
+            )
+        })
+    });
+
+    for kind in ["uds", "tcp"] {
+        group.bench_with_input(BenchmarkId::new("barrier", kind), &kind, |b, &kind| {
+            b.iter(|| {
+                let (listener, addr): (Box<dyn TransportListener>, String) = match kind {
+                    "tcp" => {
+                        let l = TcpTransportListener::bind("127.0.0.1:0").unwrap();
+                        let addr = l.local_addr();
+                        (Box::new(l), addr)
+                    }
+                    _ => {
+                        let path = uds_path();
+                        let l = UnixTransportListener::bind(&path).unwrap();
+                        (Box::new(l), path)
+                    }
+                };
+                let runtime = Runtime::new(RuntimeConfig::barrier(1));
+                std::thread::scope(|s| {
+                    for node in 0..NODES {
+                        let addr = addr.clone();
+                        let (runtime, fedml, model, tasks) = (&runtime, &fedml, &model, &tasks);
+                        s.spawn(move || {
+                            let mut link: Box<dyn Transport> = match kind {
+                                "tcp" => Box::new(TcpTransport::connect(&addr).unwrap()),
+                                _ => Box::new(UnixTransport::connect(&addr).unwrap()),
+                            };
+                            runtime.run_node(fedml, model, tasks, node, link.as_mut())
+                        });
+                    }
+                    runtime
+                        .serve(&fedml, &model, black_box(&tasks), &theta0, listener)
+                        .unwrap()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_frame_roundtrip(&mut c);
+    bench_distributed_rounds(&mut c);
+
+    // Timed runs (not `--test`) record the perf trajectory.
+    if c.results().is_empty() {
+        return;
+    }
+    let results: Vec<fml_bench::perf::PerfResult> = c
+        .results()
+        .iter()
+        .map(|r| fml_bench::perf::PerfResult {
+            id: r.id.clone(),
+            ns_per_iter: r.ns_per_iter,
+        })
+        .collect();
+    let comparisons = [
+        fml_bench::perf::comparison(
+            "uds_hop_vs_channel",
+            &results,
+            "transport_hop/uds",
+            "transport_hop/channel",
+        ),
+        fml_bench::perf::comparison(
+            "tcp_hop_vs_channel",
+            &results,
+            "transport_hop/tcp",
+            "transport_hop/channel",
+        ),
+        fml_bench::perf::comparison(
+            "tcp_hop_vs_uds",
+            &results,
+            "transport_hop/tcp",
+            "transport_hop/uds",
+        ),
+        fml_bench::perf::comparison(
+            "socket_barrier_vs_channel_uds",
+            &results,
+            "transport_rounds/barrier/uds",
+            "transport_rounds/barrier/channel",
+        ),
+        fml_bench::perf::comparison(
+            "socket_barrier_vs_channel_tcp",
+            &results,
+            "transport_rounds/barrier/tcp",
+            "transport_rounds/barrier/channel",
+        ),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+    fml_bench::perf::write_report_named(
+        "BENCH_pr4.json",
+        "transport",
+        fml_bench::perf::PerfSection {
+            host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            results,
+            comparisons,
+        },
+    );
+}

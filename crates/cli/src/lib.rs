@@ -43,7 +43,11 @@ use fml_data::{
 };
 use fml_dro::BoxConstraint;
 use fml_models::{Activation, MlpBuilder, Model, SoftmaxRegression};
-use fml_runtime::{AsyncPolicy, Runtime, RuntimeConfig};
+use fml_runtime::{
+    param_hash, AsyncPolicy, NodeIo, Runtime, RuntimeConfig, TcpTransport, TcpTransportListener,
+    Transport, TransportListener, UnixTransport, UnixTransportListener, CONNECT_ATTEMPTS,
+    CONNECT_BASE_DELAY,
+};
 use fml_sim::{Network, SimConfig, SimRunner};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -162,8 +166,35 @@ pub enum RuntimeMode {
     Async,
 }
 
+/// Which transport the `runtime` subcommand moves frames over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process channels (the default; single process).
+    #[default]
+    Channel,
+    /// Length-prefixed frames over TCP (`--listen`/`--connect` take a
+    /// `host:port` address).
+    Tcp,
+    /// Length-prefixed frames over a Unix domain socket
+    /// (`--listen`/`--connect` take a socket file path).
+    Uds,
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "channel" => Ok(TransportKind::Channel),
+            "tcp" => Ok(TransportKind::Tcp),
+            "uds" => Ok(TransportKind::Uds),
+            other => Err(format!("unknown transport {other} (channel|tcp|uds)")),
+        }
+    }
+}
+
 /// Knobs of the `runtime` subcommand, layered over a [`RunConfig`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeOptions {
     /// Barrier or async execution.
     pub mode: RuntimeMode,
@@ -173,6 +204,15 @@ pub struct RuntimeOptions {
     pub threads: Option<usize>,
     /// Seed override; `None` uses the config's seed.
     pub seed: Option<u64>,
+    /// Transport the platform⇄node links ride on.
+    pub transport: TransportKind,
+    /// Platform side of a socket transport: address/path to listen on.
+    pub listen: Option<String>,
+    /// Node side of a socket transport: address/path to connect to.
+    pub connect: Option<String>,
+    /// Run as a single node process with this node id (requires
+    /// `connect`); `None` runs the platform.
+    pub node: Option<usize>,
 }
 
 impl Default for RuntimeOptions {
@@ -182,24 +222,31 @@ impl Default for RuntimeOptions {
             max_staleness: 4,
             threads: None,
             seed: None,
+            transport: TransportKind::Channel,
+            listen: None,
+            connect: None,
+            node: None,
         }
     }
 }
 
-/// Executes a configured experiment on the `fml-runtime` actor fleet
-/// instead of the in-process training loop.
-///
-/// The algorithm section must be one the runtime can drive round by
-/// round (`fedml`, `fedavg`, or `fedprox` — the identity-combine
-/// trainers with an extracted local step).
-///
-/// # Errors
-///
-/// Returns a human-readable message when the config is invalid or the
-/// algorithm has no extracted local step.
-pub fn run_runtime(cfg: &RunConfig, opts: &RuntimeOptions) -> Result<Report, String> {
+/// Everything the runtime paths derive deterministically from
+/// `(config, seed)` — identical in the platform process and in every
+/// node process, which is what lets them agree without sharing memory.
+struct RuntimeSetup {
+    stats: fml_data::FederationStats,
+    tasks: Vec<SourceTask>,
+    targets: Vec<NodeData>,
+    model: Box<dyn Model>,
+    theta0: Vec<f64>,
+    stepper: Box<dyn LocalStepper>,
+    rng: StdRng,
+}
+
+/// Builds dataset, tasks, model, initial parameters, and the
+/// runtime-drivable stepper from the config at `seed`.
+fn build_runtime_setup(cfg: &RunConfig, seed: u64) -> Result<RuntimeSetup, String> {
     cfg.validate()?;
-    let seed = opts.seed.unwrap_or(cfg.seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let fed = build_dataset(&cfg.dataset, &mut rng);
     let stats = fed.stats();
@@ -258,6 +305,19 @@ pub fn run_runtime(cfg: &RunConfig, opts: &RuntimeOptions) -> Result<Report, Str
         }
     };
 
+    Ok(RuntimeSetup {
+        stats,
+        tasks,
+        targets,
+        model,
+        theta0,
+        stepper,
+        rng,
+    })
+}
+
+/// The [`RuntimeConfig`] the options describe, at `seed`.
+fn build_runtime_config(opts: &RuntimeOptions, seed: u64) -> RuntimeConfig {
     let mut rt_cfg = match opts.mode {
         RuntimeMode::Barrier => RuntimeConfig::barrier(seed),
         RuntimeMode::Async => RuntimeConfig::async_mode(
@@ -268,13 +328,79 @@ pub fn run_runtime(cfg: &RunConfig, opts: &RuntimeOptions) -> Result<Report, Str
     if let Some(threads) = opts.threads {
         rt_cfg = rt_cfg.with_threads(threads);
     }
-    let out = Runtime::new(rt_cfg).run(stepper.as_ref(), model.as_ref(), &tasks, &theta0);
+    rt_cfg
+}
+
+/// Executes a configured experiment on the `fml-runtime` actor fleet
+/// instead of the in-process training loop.
+///
+/// The algorithm section must be one the runtime can drive round by
+/// round (`fedml`, `fedavg`, or `fedprox` — the identity-combine
+/// trainers with an extracted local step).
+///
+/// # Errors
+///
+/// Returns a human-readable message when the config is invalid or the
+/// algorithm has no extracted local step.
+pub fn run_runtime(cfg: &RunConfig, opts: &RuntimeOptions) -> Result<Report, String> {
+    if opts.node.is_some() {
+        return Err("--node runs a node process; use run_runtime_node".into());
+    }
+    if opts.connect.is_some() {
+        return Err("--connect is for node processes (add --node <id>)".into());
+    }
+    let seed = opts.seed.unwrap_or(cfg.seed);
+    let RuntimeSetup {
+        stats,
+        tasks,
+        targets,
+        model,
+        theta0,
+        stepper,
+        mut rng,
+    } = build_runtime_setup(cfg, seed)?;
+    let rt_cfg = build_runtime_config(opts, seed);
+    let runtime = Runtime::new(rt_cfg);
+
+    let out = match (opts.transport, &opts.listen) {
+        (TransportKind::Channel, None) => {
+            runtime.run(stepper.as_ref(), model.as_ref(), &tasks, &theta0)
+        }
+        (TransportKind::Channel, Some(_)) => {
+            return Err("--listen requires --transport tcp or uds".into())
+        }
+        (kind, Some(addr)) => {
+            let listener: Box<dyn TransportListener> = match kind {
+                TransportKind::Tcp => Box::new(
+                    TcpTransportListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?,
+                ),
+                TransportKind::Uds => Box::new(
+                    UnixTransportListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?,
+                ),
+                TransportKind::Channel => unreachable!("handled above"),
+            };
+            // Stderr so scripted runs can still capture a clean report
+            // on stdout; with an ephemeral TCP port this line is where
+            // the real address appears.
+            eprintln!(
+                "platform listening on {} ({} nodes expected)",
+                listener.local_addr(),
+                tasks.len()
+            );
+            runtime
+                .serve(stepper.as_ref(), model.as_ref(), &tasks, &theta0, listener)
+                .map_err(|e| format!("transport: {e}"))?
+        }
+        (_, None) => return Err("--transport tcp|uds requires --listen <addr>".into()),
+    };
 
     let eval = evaluate(cfg, model.as_ref(), &out.train.params, &targets, &mut rng);
     let mode_name = match opts.mode {
         RuntimeMode::Barrier => "runtime barrier",
         RuntimeMode::Async => "runtime async",
     };
+    let mut summary = RuntimeSummary::from_report(&out.report);
+    summary.param_hash = param_hash(&out.train.params);
     Ok(Report {
         dataset: stats,
         algorithm: format!("{} ({mode_name})", stepper.algorithm()),
@@ -285,9 +411,60 @@ pub fn run_runtime(cfg: &RunConfig, opts: &RuntimeOptions) -> Result<Report, Str
             final_meta_loss: out.train.final_meta_loss(),
         },
         simulation: None,
-        runtime: Some(RuntimeSummary::from_report(&out.report)),
+        runtime: Some(summary),
         eval,
     })
+}
+
+/// Runs one node process of a socket-transport runtime: rebuilds the
+/// identical experiment from `(config, seed)`, connects to the platform
+/// (with backoff, so starting before the platform is fine), and answers
+/// broadcasts until the schedule or the link ends.
+///
+/// Returns the node-side I/O counters.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the options are inconsistent,
+/// the node id is out of range, or the platform cannot be reached.
+pub fn run_runtime_node(cfg: &RunConfig, opts: &RuntimeOptions) -> Result<NodeIo, String> {
+    let node = opts.node.ok_or("node mode requires --node <id>")?;
+    let addr = opts
+        .connect
+        .as_deref()
+        .ok_or("node mode requires --connect <addr>")?;
+    if opts.listen.is_some() {
+        return Err("--listen is for the platform process".into());
+    }
+    let seed = opts.seed.unwrap_or(cfg.seed);
+    let setup = build_runtime_setup(cfg, seed)?;
+    if node >= setup.tasks.len() {
+        return Err(format!(
+            "--node {node} out of range: {} source nodes",
+            setup.tasks.len()
+        ));
+    }
+    let mut link: Box<dyn Transport> = match opts.transport {
+        TransportKind::Tcp => Box::new(
+            TcpTransport::connect_with_backoff(addr, CONNECT_ATTEMPTS, CONNECT_BASE_DELAY)
+                .map_err(|e| format!("connect {addr}: {e}"))?,
+        ),
+        TransportKind::Uds => Box::new(
+            UnixTransport::connect_with_backoff(addr, CONNECT_ATTEMPTS, CONNECT_BASE_DELAY)
+                .map_err(|e| format!("connect {addr}: {e}"))?,
+        ),
+        TransportKind::Channel => {
+            return Err("node mode needs a socket transport (--transport tcp|uds)".into())
+        }
+    };
+    let rt_cfg = build_runtime_config(opts, seed);
+    Ok(Runtime::new(rt_cfg).run_node(
+        setup.stepper.as_ref(),
+        setup.model.as_ref(),
+        &setup.tasks,
+        node,
+        link.as_mut(),
+    ))
 }
 
 fn train(
@@ -709,7 +886,7 @@ mod tests {
             mode: RuntimeMode::Async,
             max_staleness: 2,
             threads: Some(2),
-            seed: None,
+            ..RuntimeOptions::default()
         };
         let rt = run_runtime(&cfg, &opts).unwrap();
         assert!(rt.algorithm.contains("runtime async"), "{}", rt.algorithm);

@@ -8,9 +8,15 @@
 //! fedml runtime <config.json>  run on the thread-per-node actor runtime
 //!       [--mode barrier|async] [--max-staleness N] [--threads N]
 //!       [--seed N] [--json <out.json>]
+//!       [--transport channel|tcp|uds] [--listen <addr>]   platform side
+//!       [--connect <addr> --node <id>]                    node side
 //! ```
+//!
+//! With `--transport tcp` or `uds` the platform (`--listen`) and each
+//! node (`--connect --node <id>`) run as separate processes sharing
+//! nothing but the config file and the wire.
 
-use fml_cli::{run, run_runtime, RunConfig, RuntimeMode, RuntimeOptions};
+use fml_cli::{run, run_runtime, run_runtime_node, RunConfig, RuntimeMode, RuntimeOptions};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -31,7 +37,12 @@ const USAGE: &str = "usage:
   fedml stats <config.json>         print dataset statistics
   fedml run <config.json> [--json <out.json>]
   fedml runtime <config.json> [--mode barrier|async] [--max-staleness N]
-        [--threads N] [--seed N] [--json <out.json>]";
+        [--threads N] [--seed N] [--json <out.json>]
+        [--transport channel|tcp|uds] [--listen <addr>]
+        [--connect <addr> --node <id>]
+  (socket transports: run the platform with --listen, then one process
+   per node with --connect and --node; addr is host:port for tcp, a
+   socket file path for uds)";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -75,6 +86,19 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("runtime") => {
             let cfg = load_config(args.get(1))?;
             let (opts, json_out) = parse_runtime_flags(&args[2..])?;
+            if opts.node.is_some() {
+                let io = run_runtime_node(&cfg, &opts)?;
+                println!(
+                    "node {}: {} frames / {} bytes received, {} frames / {} bytes sent",
+                    io.node, io.frames_received, io.bytes_received, io.frames_sent, io.bytes_sent
+                );
+                if let Some(path) = json_out {
+                    let json = serde_json::to_string_pretty(&io).expect("counters serialize");
+                    std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+                    println!("wrote JSON counters to {path}");
+                }
+                return Ok(());
+            }
             let report = run_runtime(&cfg, &opts)?;
             print!("{report}");
             if let Some(path) = json_out {
@@ -130,6 +154,16 @@ fn parse_runtime_flags(args: &[String]) -> Result<(RuntimeOptions, Option<String
                     value("--seed")?
                         .parse()
                         .map_err(|e| format!("bad --seed: {e}"))?,
+                )
+            }
+            "--transport" => opts.transport = value("--transport")?.parse()?,
+            "--listen" => opts.listen = Some(value("--listen")?),
+            "--connect" => opts.connect = Some(value("--connect")?),
+            "--node" => {
+                opts.node = Some(
+                    value("--node")?
+                        .parse()
+                        .map_err(|e| format!("bad --node: {e}"))?,
                 )
             }
             "--json" => json_out = Some(value("--json")?),

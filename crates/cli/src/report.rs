@@ -51,7 +51,17 @@ impl SimReport {
 pub struct RuntimeSummary {
     /// `"barrier"` or `"async"`.
     pub mode: String,
-    /// Worker OS threads the node actors ran on.
+    /// Transport the platform⇄node links used: `"channel"`, `"tcp"`, or
+    /// `"uds"` (empty in reports from before the transport seam).
+    #[serde(default)]
+    pub transport: String,
+    /// FNV-1a 64 hex digest of the final parameters' exact bit
+    /// patterns; equal hashes ⇔ bitwise-identical models, across
+    /// processes (empty in older reports).
+    #[serde(default)]
+    pub param_hash: String,
+    /// Worker OS threads the node actors ran on (0 when the nodes were
+    /// remote processes).
     pub threads: usize,
     /// Wire frames moved in both directions (node-side count).
     pub frames: u64,
@@ -78,6 +88,8 @@ impl RuntimeSummary {
     pub fn from_report(report: &fml_runtime::RuntimeReport) -> Self {
         RuntimeSummary {
             mode: report.mode.clone(),
+            transport: report.transport.clone(),
+            param_hash: String::new(),
             threads: report.threads,
             frames: report.total_frames(),
             bytes: report.total_bytes(),
@@ -169,14 +181,22 @@ impl fmt::Display for Report {
             }
         }
         if let Some(rt) = &self.runtime {
+            let transport = if rt.transport.is_empty() {
+                "channel"
+            } else {
+                &rt.transport
+            };
             writeln!(
                 f,
-                "runtime    {} mode, {} threads, {} frames / {:.2} MB on the wire",
+                "runtime    {} mode over {transport}, {} threads, {} frames / {:.2} MB on the wire",
                 rt.mode,
                 rt.threads,
                 rt.frames,
                 rt.bytes as f64 / 1e6
             )?;
+            if !rt.param_hash.is_empty() {
+                writeln!(f, "           param hash {}", rt.param_hash)?;
+            }
             writeln!(
                 f,
                 "           {} accepted ({} stale, {} invalid, {} undelivered), {} degraded rounds",
@@ -299,6 +319,8 @@ mod tests {
         let mut r = sample();
         r.runtime = Some(RuntimeSummary {
             mode: "async".into(),
+            transport: "tcp".into(),
+            param_hash: "00c0ffee00c0ffee".into(),
             threads: 4,
             frames: 240,
             bytes: 480_000,
@@ -311,7 +333,8 @@ mod tests {
             degraded_rounds: 2,
         });
         let text = r.to_string();
-        assert!(text.contains("runtime    async mode"));
+        assert!(text.contains("runtime    async mode over tcp"));
+        assert!(text.contains("param hash 00c0ffee00c0ffee"));
         assert!(text.contains("staleness s0:90 s1:15 s2:5"));
         let json = serde_json::to_string(&r).unwrap();
         let back: Report = serde_json::from_str(&json).unwrap();

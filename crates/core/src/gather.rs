@@ -117,6 +117,20 @@ impl GatherPolicy {
         self
     }
 
+    /// Wall-clock I/O deadline for per-peer transport reads and writes,
+    /// derived from the round deadline: a policy that triages reports at
+    /// `deadline_s` has no reason to keep a socket blocked for longer.
+    /// Falls back to `fallback` when no round deadline is set, and never
+    /// returns zero (a zero socket timeout means "block forever" on most
+    /// platforms — the opposite of a deadline).
+    pub fn io_deadline(&self, fallback: std::time::Duration) -> std::time::Duration {
+        let d = match self.deadline_s {
+            Some(s) => std::time::Duration::from_secs_f64(s),
+            None => fallback,
+        };
+        d.max(std::time::Duration::from_millis(1))
+    }
+
     /// Sets the minimum quorum fraction.
     ///
     /// # Panics
@@ -619,6 +633,22 @@ mod tests {
         // Even a zero quorum demands one reporter: an empty aggregate is
         // undefined.
         assert_eq!(lax.required_reporters(10), 1);
+    }
+
+    #[test]
+    fn io_deadline_derives_from_round_deadline() {
+        use std::time::Duration;
+        let fallback = Duration::from_millis(2_000);
+        // No round deadline: the transport falls back to its own timeout.
+        assert_eq!(policy().io_deadline(fallback), fallback);
+        // A round deadline bounds the socket wait too.
+        let p = policy().with_deadline(0.25);
+        assert_eq!(p.io_deadline(fallback), Duration::from_millis(250));
+        // Never zero — that would mean "block forever" on a socket.
+        assert_eq!(
+            policy().io_deadline(Duration::ZERO),
+            Duration::from_millis(1)
+        );
     }
 
     #[test]

@@ -1,31 +1,32 @@
 //! Node actors: the edge side of the runtime.
 //!
-//! Every source node is an actor with a bounded mailbox. Actors are
-//! multiplexed onto a fixed pool of worker OS threads (contiguous
-//! chunks, like `fml_core::parallel`): one worker services its nodes in
-//! index order each round, so a run with 1 worker and a run with 8 do
-//! exactly the same floating-point work in exactly the same per-node
-//! order.
+//! Every source node is an actor behind a [`Transport`] link. In
+//! process, actors are multiplexed onto a fixed pool of worker OS
+//! threads (contiguous chunks, like `fml_core::parallel`): one worker
+//! services its nodes in index order each round, so a run with 1 worker
+//! and a run with 8 do exactly the same floating-point work in exactly
+//! the same per-node order. Out of process, [`run_transport_peer`]
+//! drives a single node over a socket link until the round schedule or
+//! the link ends.
 //!
 //! The actor's round is pure message-plumbing around the trainer's
 //! extracted step:
 //!
-//! 1. block (with a wall-clock timeout as a liveness net) on the
-//!    mailbox for the platform's `GlobalModel` frame;
+//! 1. block (with a wall-clock timeout as a liveness net) on the link
+//!    for the platform's `GlobalModel` frame;
 //! 2. decode it — the hardened [`fml_sim::Message::decode`] runs on
 //!    every hop, counting (never panicking on) malformed frames;
 //! 3. run the trainer's `T0` local steps via
 //!    [`fml_core::LocalStepper::local_update`];
 //! 4. apply any scheduled corrupt fault, encode a `ModelUpdate` frame,
-//!    and send it up the shared platform uplink.
+//!    and send it back up the link.
 //!
-//! Crash faults are honoured by *not* touching the mailbox that round —
+//! Crash faults are honoured by *not* touching the link that round —
 //! the platform consults the same pure [`FaultPlan`] and skips the
 //! broadcast, so neither side waits on the other. Straggle faults are
 //! virtual-time only (the platform adds the delay when triaging), so no
 //! actor ever sleeps.
 
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -35,13 +36,20 @@ use fml_models::Model;
 use fml_sim::Message;
 
 use crate::report::NodeIo;
+use crate::transport::{ChannelTransport, Transport, TransportError};
 
-/// One node's actor state: its mailbox and I/O counters.
+/// Consecutive receive timeouts after which a remote peer concludes the
+/// platform is gone and exits. One timeout is a missed round (crash
+/// fault or dropped broadcast) and is survivable; a long silent streak
+/// means the run ended without a clean close.
+const MAX_TIMEOUT_MISSES: u32 = 10;
+
+/// One node's actor state: its link and I/O counters.
 pub(crate) struct NodeActor {
     /// Node id (index into the task list).
     pub node: usize,
-    /// Bounded mailbox the platform broadcasts into.
-    pub mailbox: Receiver<Bytes>,
+    /// The node end of the platform⇄node link.
+    pub link: ChannelTransport,
     /// Frame/byte counters, measured at this node.
     pub io: NodeIo,
     /// Cleared when the platform side disappears; the actor then stops
@@ -50,10 +58,10 @@ pub(crate) struct NodeActor {
 }
 
 impl NodeActor {
-    pub(crate) fn new(node: usize, mailbox: Receiver<Bytes>) -> Self {
+    pub(crate) fn new(node: usize, link: ChannelTransport) -> Self {
         NodeActor {
             node,
-            mailbox,
+            link,
             io: NodeIo {
                 node,
                 ..NodeIo::default()
@@ -82,64 +90,82 @@ pub(crate) struct WorkerOutcome {
     pub decode_errors: u64,
 }
 
-/// Services `actors` for the full round schedule, then reports.
-pub(crate) fn worker_loop(
+/// The shared per-broadcast step: decode, local-update, apply a corrupt
+/// fault, encode the reply. Counts the received frame into `io`, and
+/// the reply frame too when one is produced. Returns `None` (bumping
+/// `decode_errors`) on an unusable frame.
+fn step_reply(
     ctx: &WorkerCtx<'_>,
-    mut actors: Vec<NodeActor>,
-    uplink: &Sender<(usize, Bytes)>,
-) -> WorkerOutcome {
+    node: usize,
+    frame: &Bytes,
+    io: &mut NodeIo,
+    decode_errors: &mut u64,
+) -> Option<Bytes> {
+    io.frames_received += 1;
+    io.bytes_received += frame.len() as u64;
+    // Decode on receive: the hardened path runs on every hop.
+    let (broadcast_round, global) = match Message::decode(frame) {
+        Ok(Message::GlobalModel { round, params }) => (round, params),
+        // A non-broadcast message here is a protocol violation; count
+        // it like any other unusable frame.
+        Ok(Message::ModelUpdate { .. }) | Err(_) => {
+            *decode_errors += 1;
+            return None;
+        }
+    };
+    // The fault is drawn at the round stamped on the broadcast, so an
+    // out-of-process peer replays the same seeded schedule as an
+    // in-process actor.
+    let fault = ctx.faults.draw(node, broadcast_round as usize);
+    if matches!(fault, Some(Fault::Crash)) {
+        // Defensive: the platform skips crashed nodes, so a broadcast
+        // for a crashed round should never arrive. Honour the plan.
+        return None;
+    }
+    let mut update =
+        ctx.stepper
+            .local_update(ctx.model, &ctx.tasks[node], &global, ctx.local_steps);
+    if let Some(Fault::Corrupt(mode)) = fault {
+        corrupt(mode, &mut update);
+    }
+    let reply = Message::ModelUpdate {
+        round: broadcast_round,
+        node: node as u32,
+        params: update,
+    }
+    .encode();
+    io.frames_sent += 1;
+    io.bytes_sent += reply.len() as u64;
+    Some(reply)
+}
+
+/// Services `actors` for the full round schedule, then reports.
+pub(crate) fn worker_loop(ctx: &WorkerCtx<'_>, mut actors: Vec<NodeActor>) -> WorkerOutcome {
     let mut decode_errors = 0u64;
     for round in 1..=ctx.rounds {
         for actor in &mut actors {
             if !actor.alive {
                 continue;
             }
-            let fault = ctx.faults.draw(actor.node, round);
-            if matches!(fault, Some(Fault::Crash)) {
+            if matches!(ctx.faults.draw(actor.node, round), Some(Fault::Crash)) {
                 // The platform draws the same plan and will not
                 // broadcast to us this round.
                 continue;
             }
-            let frame = match actor.mailbox.recv_timeout(ctx.recv_timeout) {
+            let frame = match actor.link.recv_frame(ctx.recv_timeout) {
                 Ok(frame) => frame,
                 // Missed/undelivered broadcast: skip the round, stay up.
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => {
+                Err(TransportError::Timeout) => continue,
+                Err(_) => {
                     actor.alive = false;
                     continue;
                 }
             };
-            actor.io.frames_received += 1;
-            actor.io.bytes_received += frame.len() as u64;
-            // Decode on receive: the hardened path runs on every hop.
-            let broadcast = match Message::decode(&frame) {
-                Ok(Message::GlobalModel { round, params }) => (round, params),
-                // A non-broadcast message here is a protocol violation;
-                // count it like any other unusable frame.
-                Ok(Message::ModelUpdate { .. }) | Err(_) => {
-                    decode_errors += 1;
-                    continue;
-                }
+            let Some(reply) = step_reply(ctx, actor.node, &frame, &mut actor.io, &mut decode_errors)
+            else {
+                continue;
             };
-            let (broadcast_round, global) = broadcast;
-            let mut update = ctx.stepper.local_update(
-                ctx.model,
-                &ctx.tasks[actor.node],
-                &global,
-                ctx.local_steps,
-            );
-            if let Some(Fault::Corrupt(mode)) = fault {
-                corrupt(mode, &mut update);
-            }
-            let reply = Message::ModelUpdate {
-                round: broadcast_round,
-                node: actor.node as u32,
-                params: update,
-            };
-            let frame = reply.encode();
-            actor.io.frames_sent += 1;
-            actor.io.bytes_sent += frame.len() as u64;
-            if uplink.send((actor.node, frame)).is_err() {
+            if actor.link.send_frame(&reply).is_err() {
                 actor.alive = false;
             }
         }
@@ -148,4 +174,66 @@ pub(crate) fn worker_loop(
         io: actors.into_iter().map(|a| a.io).collect(),
         decode_errors,
     }
+}
+
+/// Drives one node over an established link until the round schedule
+/// completes or the link dies: sends the hello frame, then loops
+/// receive → decode → local update → reply. Used by
+/// [`crate::Runtime::run_node`] for out-of-process peers.
+///
+/// Returns the node-side I/O counters (hello excluded — it is control
+/// traffic, not training traffic).
+pub(crate) fn run_transport_peer(
+    ctx: &WorkerCtx<'_>,
+    node: usize,
+    link: &mut dyn Transport,
+) -> NodeIo {
+    let mut io = NodeIo {
+        node,
+        ..NodeIo::default()
+    };
+    let mut decode_errors = 0u64;
+    let hello = Message::ModelUpdate {
+        round: 0,
+        node: node as u32,
+        params: Vec::new(),
+    }
+    .encode();
+    if link.send_frame(&hello).is_err() {
+        link.close();
+        return io;
+    }
+    let mut misses = 0u32;
+    loop {
+        let frame = match link.recv_frame(ctx.recv_timeout) {
+            Ok(frame) => {
+                misses = 0;
+                frame
+            }
+            Err(TransportError::Timeout) => {
+                misses += 1;
+                if misses >= MAX_TIMEOUT_MISSES {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        };
+        // Peek the round before stepping so the schedule's end is known
+        // even when the frame turns out to be this node's crashed round.
+        let last = match Message::decode(&frame) {
+            Ok(Message::GlobalModel { round, .. }) => round as usize,
+            _ => 0,
+        };
+        if let Some(reply) = step_reply(ctx, node, &frame, &mut io, &mut decode_errors) {
+            if link.send_frame(&reply).is_err() {
+                break;
+            }
+        }
+        if last >= ctx.rounds {
+            break;
+        }
+    }
+    link.close();
+    io
 }

@@ -104,6 +104,10 @@ pub struct RuntimeConfig {
     /// net that turns a dead or wedged thread into a degraded round
     /// instead of a hang. Plays no algorithmic role.
     pub recv_timeout_ms: u64,
+    /// How long [`crate::Runtime::serve`] waits for the full fleet to
+    /// connect before starting with whoever joined (milliseconds).
+    /// Irrelevant for the in-process channel transport.
+    pub join_timeout_ms: u64,
     /// Virtual duration of one communication round (seconds); together
     /// with the clock's delays this decides which round an async upload
     /// lands in.
@@ -125,6 +129,7 @@ impl RuntimeConfig {
             threads: None,
             mailbox_cap: 2,
             recv_timeout_ms: 2_000,
+            join_timeout_ms: 10_000,
             round_duration_s: 1.0,
             clock: VirtualClock::new(seed),
             faults: FaultPlan::new(seed),
@@ -170,6 +175,17 @@ impl RuntimeConfig {
     pub fn with_recv_timeout_ms(mut self, ms: u64) -> Self {
         assert!(ms > 0, "receive timeout must be positive");
         self.recv_timeout_ms = ms;
+        self
+    }
+
+    /// Sets the fleet join timeout for socket transports.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ms == 0`.
+    pub fn with_join_timeout_ms(mut self, ms: u64) -> Self {
+        assert!(ms > 0, "join timeout must be positive");
+        self.join_timeout_ms = ms;
         self
     }
 
@@ -239,10 +255,12 @@ mod tests {
             .with_threads(3)
             .with_mailbox_cap(4)
             .with_recv_timeout_ms(100)
+            .with_join_timeout_ms(1_500)
             .with_round_duration(2.5);
         assert_eq!(cfg.threads, Some(3));
         assert_eq!(cfg.mailbox_cap, 4);
         assert_eq!(cfg.recv_timeout_ms, 100);
+        assert_eq!(cfg.join_timeout_ms, 1_500);
         assert_eq!(cfg.round_duration_s, 2.5);
         assert!(cfg.async_policy().is_none());
         let a = RuntimeConfig::async_mode(5, AsyncPolicy::default().with_max_staleness(2));

@@ -30,6 +30,15 @@
 //! machine. Wall-clock timeouts exist only as a liveness net against
 //! genuinely dead threads.
 //!
+//! Every platform⇄node hop crosses the [`transport`] seam: in process
+//! it is the original channel topology ([`ChannelTransport`], bitwise
+//! identical to the pre-seam runtime), and out of process it is
+//! length-prefixed frames over TCP ([`TcpTransport`]) or a Unix domain
+//! socket ([`UnixTransport`]) — [`Runtime::serve`] runs the platform
+//! against a listener, [`Runtime::run_node`] runs one node over a
+//! connected link, and socket deadlines derive from the gather policy
+//! so a dead peer degrades the round instead of hanging it.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -60,10 +69,16 @@
 mod actor;
 pub mod clock;
 pub mod config;
+mod hub;
 pub mod platform;
 pub mod report;
+pub mod transport;
 
 pub use clock::VirtualClock;
 pub use config::{AsyncPolicy, Mode, RuntimeConfig};
 pub use platform::{Runtime, RuntimeOutput};
-pub use report::{NodeIo, RuntimeReport};
+pub use report::{param_hash, NodeIo, RuntimeReport};
+pub use transport::{
+    ChannelTransport, TcpTransport, TcpTransportListener, Transport, TransportError,
+    TransportListener, UnixTransport, UnixTransportListener, CONNECT_ATTEMPTS, CONNECT_BASE_DELAY,
+};

@@ -42,7 +42,7 @@
 //! identical at any worker-thread count.
 
 use std::collections::BTreeMap;
-use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{Receiver, SyncSender};
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -52,9 +52,11 @@ use fml_core::{aggregate, Fault, LocalStepper, RoundRecord, SourceTask, TrainOut
 use fml_models::Model;
 use fml_sim::{Message, RoundTrace};
 
-use crate::actor::{worker_loop, NodeActor, WorkerCtx};
+use crate::actor::{run_transport_peer, worker_loop, NodeActor, WorkerCtx};
 use crate::config::{AsyncPolicy, Mode, RuntimeConfig};
-use crate::report::RuntimeReport;
+use crate::hub::Hub;
+use crate::report::{NodeIo, RuntimeReport};
+use crate::transport::{channel_fleet, Transport, TransportError, TransportListener};
 
 /// The actor runtime: spawns one logical actor per source node on a
 /// worker pool and runs the platform event loop to completion.
@@ -127,14 +129,7 @@ impl Runtime {
         // uplink is unbounded so actors never block sending — it holds
         // at most one frame per live node per round because the
         // platform drains it every round.
-        let mut senders: Vec<SyncSender<Bytes>> = Vec::with_capacity(n);
-        let mut receivers: Vec<Receiver<Bytes>> = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = sync_channel::<Bytes>(self.cfg.mailbox_cap);
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let (uplink_tx, uplink_rx) = channel::<(usize, Bytes)>();
+        let (fleet, node_links) = channel_fleet(n, self.cfg.mailbox_cap);
 
         let ctx = WorkerCtx {
             stepper,
@@ -151,21 +146,17 @@ impl Runtime {
             // as fml_core::parallel::map_ordered).
             let chunk_len = n.div_ceil(workers);
             let mut handles = Vec::with_capacity(workers);
-            let mut rx_iter = receivers.into_iter();
+            let mut link_iter = node_links.into_iter();
             let mut next_node = 0usize;
             while next_node < n {
                 let hi = (next_node + chunk_len).min(n);
                 let actors: Vec<NodeActor> = (next_node..hi)
-                    .map(|node| {
-                        NodeActor::new(node, rx_iter.next().expect("one receiver per node"))
-                    })
+                    .map(|node| NodeActor::new(node, link_iter.next().expect("one link per node")))
                     .collect();
-                let uplink = uplink_tx.clone();
                 let ctx = &ctx;
-                handles.push(scope.spawn(move || worker_loop(ctx, actors, &uplink)));
+                handles.push(scope.spawn(move || worker_loop(ctx, actors)));
                 next_node = hi;
             }
-            drop(uplink_tx);
 
             let mut platform = Platform {
                 cfg: &self.cfg,
@@ -175,14 +166,15 @@ impl Runtime {
                 n,
                 rounds,
                 local_steps,
-                senders,
-                uplink: uplink_rx,
+                peers: Peers::Direct(fleet.senders),
+                uplink: fleet.uplink,
                 timeout: Duration::from_millis(self.cfg.recv_timeout_ms),
                 report: RuntimeReport {
                     mode: match self.cfg.mode {
                         Mode::Barrier => "barrier".into(),
                         Mode::Async(_) => "async".into(),
                     },
+                    transport: "channel".into(),
                     threads: workers,
                     ..RuntimeReport::default()
                 },
@@ -195,7 +187,7 @@ impl Runtime {
             };
             // Drop the mailbox senders so idle actors see Disconnected
             // and exit instead of waiting out their timeout.
-            platform.senders.clear();
+            platform.peers = Peers::Direct(Vec::new());
 
             let Platform {
                 mut report,
@@ -227,6 +219,166 @@ impl Runtime {
             }
         })
     }
+
+    /// Runs the platform side over a socket transport: accepts peers on
+    /// `listener`, waits up to the configured join timeout for the full
+    /// fleet, then drives the same event loop [`run`](Runtime::run)
+    /// uses — node compute happens in whatever processes connected.
+    ///
+    /// Rounds degrade (never hang) when peers are missing, die
+    /// mid-round, or straggle past the gather deadline; a peer that
+    /// reconnects resumes receiving broadcasts and its reconnect is
+    /// counted in the report.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] when *no* peer joined within the
+    /// join timeout — a partially joined fleet starts anyway and
+    /// degrades.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tasks` is empty or `theta0` has the wrong length.
+    pub fn serve(
+        &self,
+        stepper: &dyn LocalStepper,
+        model: &dyn Model,
+        tasks: &[SourceTask],
+        theta0: &[f64],
+        listener: Box<dyn TransportListener>,
+    ) -> Result<RuntimeOutput, TransportError> {
+        assert!(!tasks.is_empty(), "Runtime: no source tasks");
+        assert_eq!(
+            theta0.len(),
+            model.param_len(),
+            "Runtime: bad theta0 length"
+        );
+        let n = tasks.len();
+        let rounds = stepper.rounds();
+        let local_steps = stepper.local_steps();
+        let recv_timeout = Duration::from_millis(self.cfg.recv_timeout_ms);
+        // Socket read/write deadlines come from the gather policy: a
+        // round that cannot end before the gather deadline should not
+        // block a socket longer either.
+        let io_deadline = self.cfg.gather.io_deadline(recv_timeout);
+
+        let kind = listener.kind();
+        let (hub, uplink) = Hub::start(listener, n, self.cfg.mailbox_cap, io_deadline);
+        let joined = hub.await_join(Duration::from_millis(self.cfg.join_timeout_ms));
+        if joined == 0 {
+            hub.shutdown();
+            return Err(TransportError::Timeout);
+        }
+
+        let mut platform = Platform {
+            cfg: &self.cfg,
+            stepper,
+            model,
+            tasks,
+            n,
+            rounds,
+            local_steps,
+            peers: Peers::Hub(hub),
+            uplink,
+            timeout: recv_timeout,
+            report: RuntimeReport {
+                mode: match self.cfg.mode {
+                    Mode::Barrier => "barrier".into(),
+                    Mode::Async(_) => "async".into(),
+                },
+                transport: kind.into(),
+                // Node compute runs in the peers' processes.
+                threads: 0,
+                ..RuntimeReport::default()
+            },
+            history: Vec::new(),
+            comm_rounds: 0,
+        };
+        let params = match self.cfg.mode {
+            Mode::Barrier => platform.run_barrier(theta0),
+            Mode::Async(policy) => platform.run_async(theta0, &policy),
+        };
+
+        let Platform {
+            peers,
+            mut report,
+            history,
+            comm_rounds,
+            ..
+        } = platform;
+        if let Peers::Hub(hub) = peers {
+            // Closes every link: peers observe EOF and exit.
+            report.per_node = hub.shutdown();
+        }
+        report.degraded_rounds = report
+            .trace
+            .rounds()
+            .iter()
+            .filter(|r| r.degraded)
+            .count();
+
+        Ok(RuntimeOutput {
+            train: TrainOutput {
+                params,
+                history,
+                comm_rounds,
+                local_iterations: rounds * local_steps,
+            },
+            report,
+        })
+    }
+
+    /// Runs one node as a transport peer over an established `link`
+    /// (the edge side of [`serve`](Runtime::serve)): sends the hello
+    /// frame, then answers every broadcast with a local update until
+    /// the round schedule completes or the platform closes the link.
+    ///
+    /// Returns the node-side I/O counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range for `tasks`.
+    pub fn run_node(
+        &self,
+        stepper: &dyn LocalStepper,
+        model: &dyn Model,
+        tasks: &[SourceTask],
+        node: usize,
+        link: &mut dyn Transport,
+    ) -> NodeIo {
+        assert!(node < tasks.len(), "Runtime: node id out of range");
+        let ctx = WorkerCtx {
+            stepper,
+            model,
+            tasks,
+            faults: &self.cfg.faults,
+            rounds: stepper.rounds(),
+            local_steps: stepper.local_steps(),
+            recv_timeout: Duration::from_millis(self.cfg.recv_timeout_ms),
+        };
+        run_transport_peer(&ctx, node, link)
+    }
+}
+
+/// How the platform reaches its fleet: direct in-process mailboxes, or
+/// a socket hub.
+enum Peers {
+    /// Bounded mailbox sender per node (in-process fleet).
+    Direct(Vec<SyncSender<Bytes>>),
+    /// Remote peers behind the acceptor (socket fleet).
+    Hub(Hub),
+}
+
+impl Peers {
+    /// Best-effort frame delivery to `node`; `false` means dropped.
+    fn try_send(&self, node: usize, frame: Bytes) -> bool {
+        match self {
+            Peers::Direct(senders) => senders
+                .get(node)
+                .is_some_and(|tx| tx.try_send(frame).is_ok()),
+            Peers::Hub(hub) => hub.try_send(node, frame),
+        }
+    }
 }
 
 /// The event loop's working state, borrowed for one run.
@@ -238,8 +390,8 @@ struct Platform<'a> {
     n: usize,
     rounds: usize,
     local_steps: usize,
-    senders: Vec<SyncSender<Bytes>>,
-    uplink: Receiver<(usize, Bytes)>,
+    peers: Peers,
+    uplink: Receiver<Bytes>,
     timeout: Duration,
     report: RuntimeReport,
     history: Vec<RoundRecord>,
@@ -269,6 +421,8 @@ impl Platform<'_> {
 
     /// Encodes and try-sends the global model to every live node.
     /// Returns the nodes actually delivered to and the bytes sent.
+    /// Called exactly once per round, so the per-round drop count lands
+    /// in `report.broadcast_drops[round - 1]`.
     fn broadcast(&mut self, round: usize, global: &[f64]) -> (Vec<usize>, u64) {
         let frame = Message::GlobalModel {
             round: round as u32,
@@ -277,16 +431,20 @@ impl Platform<'_> {
         .encode();
         let mut delivered = Vec::with_capacity(self.n);
         let mut bytes = 0u64;
+        let mut drops = 0u64;
         for &node in &self.live_nodes(round) {
             // Never block the event loop on a slow consumer: a full or
             // dead mailbox just loses this round's broadcast.
-            if self.senders[node].try_send(frame.clone()).is_ok() {
+            if self.peers.try_send(node, frame.clone()) {
                 delivered.push(node);
                 bytes += frame.len() as u64;
             } else {
-                self.report.undelivered += 1;
+                drops += 1;
             }
         }
+        self.report.undelivered += drops;
+        debug_assert_eq!(self.report.broadcast_drops.len(), round - 1);
+        self.report.broadcast_drops.push(drops);
         (delivered, bytes)
     }
 
@@ -297,7 +455,7 @@ impl Platform<'_> {
         let mut got: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
         let mut bytes = 0u64;
         while got.len() < expected.len() {
-            let Ok((_, frame)) = self.uplink.recv_timeout(self.timeout) else {
+            let Ok(frame) = self.uplink.recv_timeout(self.timeout) else {
                 // Timeout or all workers gone: triage what we have.
                 break;
             };

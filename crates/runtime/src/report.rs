@@ -7,6 +7,11 @@ use fml_sim::TraceLog;
 
 /// Frame and byte counters for one node actor, measured at the node
 /// (received broadcasts, sent updates).
+///
+/// Over socket transports the byte counts are *physical*: encoded frame
+/// plus the 4-byte length prefix, counted at the platform's hub. Over
+/// the in-process channel transport they are the encoded frame alone
+/// (there is no prefix on a channel).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NodeIo {
     /// Node id (index into the task list).
@@ -19,6 +24,10 @@ pub struct NodeIo {
     pub bytes_sent: u64,
     /// Bytes of encoded broadcast frames received.
     pub bytes_received: u64,
+    /// Times this peer's link was replaced by a reconnect (socket
+    /// transports only; always 0 in-process).
+    #[serde(default)]
+    pub reconnects: u64,
 }
 
 /// What the platform observed over a whole run.
@@ -31,7 +40,12 @@ pub struct NodeIo {
 pub struct RuntimeReport {
     /// `"barrier"` or `"async"`.
     pub mode: String,
-    /// Worker OS threads the node actors ran on.
+    /// Transport family the platform⇄node links used: `"channel"`,
+    /// `"tcp"`, or `"uds"`.
+    #[serde(default)]
+    pub transport: String,
+    /// Worker OS threads the node actors ran on (0 when nodes are
+    /// remote processes reached over a socket transport).
     pub threads: usize,
     /// Per-node frame/byte counters, indexed by node id.
     pub per_node: Vec<NodeIo>,
@@ -48,6 +62,12 @@ pub struct RuntimeReport {
     /// mailboxes, uploads still in flight at shutdown, and physical
     /// arrivals after their round was already closed out.
     pub undelivered: u64,
+    /// `broadcast_drops[r]` = broadcast frames dropped in round `r + 1`
+    /// (full or dead mailboxes at `broadcast` time). Sums into
+    /// [`undelivered`](Self::undelivered) together with the other drop
+    /// sources.
+    #[serde(default)]
+    pub broadcast_drops: Vec<u64>,
     /// Rounds flagged degraded (missing reporters, rejected updates, or
     /// a skipped aggregation).
     pub degraded_rounds: usize,
@@ -89,6 +109,26 @@ impl RuntimeReport {
     }
 }
 
+/// FNV-1a 64 digest of a parameter vector's exact f64 bit patterns,
+/// rendered as 16 hex digits.
+///
+/// Two runs produce the same hash iff their parameters are bitwise
+/// identical — the cross-process analogue of the in-process
+/// `assert_eq!(params_a, params_b)` used by the conformance suite, and
+/// cheap enough to embed in every CLI JSON report.
+pub fn param_hash(params: &[f64]) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for p in params {
+        for b in p.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    format!("{h:016x}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +136,7 @@ mod tests {
     fn sample() -> RuntimeReport {
         RuntimeReport {
             mode: "async".into(),
+            transport: "channel".into(),
             threads: 4,
             per_node: vec![
                 NodeIo {
@@ -104,6 +145,7 @@ mod tests {
                     frames_received: 10,
                     bytes_sent: 1000,
                     bytes_received: 990,
+                    reconnects: 0,
                 },
                 NodeIo {
                     node: 1,
@@ -111,6 +153,7 @@ mod tests {
                     frames_received: 10,
                     bytes_sent: 800,
                     bytes_received: 990,
+                    reconnects: 1,
                 },
             ],
             staleness_hist: vec![12, 4, 0, 2],
@@ -118,6 +161,7 @@ mod tests {
             rejected_invalid: 1,
             decode_errors: 0,
             undelivered: 2,
+            broadcast_drops: vec![0, 1, 0, 1],
             degraded_rounds: 1,
             trace: TraceLog::new(),
         }
@@ -139,5 +183,34 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: RuntimeReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn old_reports_without_new_fields_still_parse() {
+        // A PR-3-era report has no transport/broadcast_drops/reconnects.
+        let json = r#"{
+            "mode": "barrier", "threads": 2,
+            "per_node": [{"node": 0, "frames_sent": 1,
+                          "frames_received": 1, "bytes_sent": 10,
+                          "bytes_received": 10}],
+            "staleness_hist": [], "rejected_stale": 0,
+            "rejected_invalid": 0, "decode_errors": 0,
+            "undelivered": 0, "degraded_rounds": 0,
+            "trace": {"rounds": []}
+        }"#;
+        let r: RuntimeReport = serde_json::from_str(json).unwrap();
+        assert_eq!(r.transport, "");
+        assert!(r.broadcast_drops.is_empty());
+        assert_eq!(r.per_node[0].reconnects, 0);
+    }
+
+    #[test]
+    fn param_hash_is_bitwise() {
+        let a = param_hash(&[1.0, -2.5, 0.0]);
+        assert_eq!(a.len(), 16);
+        assert_eq!(a, param_hash(&[1.0, -2.5, 0.0]));
+        assert_ne!(a, param_hash(&[1.0, -2.5, -0.0])); // sign bit differs
+        assert_ne!(a, param_hash(&[1.0, -2.5]));
+        assert_ne!(param_hash(&[]), param_hash(&[0.0]));
     }
 }

@@ -1,0 +1,254 @@
+//! Length-prefixed stream framing for the wire protocol.
+//!
+//! [`Message`](crate::Message) frames are self-delimiting only when the
+//! caller already knows where one frame ends — true on a channel that
+//! moves whole buffers, false on a byte stream (TCP, a Unix socket)
+//! where the kernel may split one frame across many reads or coalesce
+//! several frames into one. This module supplies the stream layer:
+//!
+//! ```text
+//! [ len: u32 LE ][ frame: len bytes ]  [ len ][ frame ]  …
+//! ```
+//!
+//! where `frame` is the versioned [`Message`](crate::Message) encoding.
+//! [`FrameBuffer`] is the hardened incremental decoder: feed it byte
+//! chunks of *any* shape (1-byte dribble, jumbo coalesce, mid-prefix
+//! truncation) and pop whole frames out; a length prefix larger than
+//! [`MAX_FRAME_LEN`] is a protocol violation ([`FrameError::Oversized`])
+//! rather than an allocation — a peer lying about its payload size must
+//! never make the receiver reserve memory it hasn't already seen.
+
+use bytes::Bytes;
+
+/// Bytes of the length prefix in front of every frame on a stream.
+pub const LENGTH_PREFIX_LEN: usize = 4;
+
+/// Largest frame a stream peer may announce (64 MiB — comfortably above
+/// any model this workspace trains, far below an allocation attack).
+pub const MAX_FRAME_LEN: usize = 1 << 26;
+
+/// Fatal framing errors. After one of these the stream is desynchronized
+/// and the only safe recovery is to drop the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// The length prefix announces a frame larger than [`MAX_FRAME_LEN`]
+    /// — a garbage prefix or a hostile peer.
+    Oversized {
+        /// The announced frame length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Prepends the length prefix to one encoded frame.
+///
+/// # Panics
+///
+/// Panics when `frame` exceeds [`MAX_FRAME_LEN`] — an encoder bug, not
+/// a runtime condition (the largest legal [`Message`](crate::Message)
+/// payload is bounded by the model size).
+pub fn prefix_frame(frame: &[u8]) -> Vec<u8> {
+    assert!(
+        frame.len() <= MAX_FRAME_LEN,
+        "frame of {} bytes exceeds MAX_FRAME_LEN",
+        frame.len()
+    );
+    let mut out = Vec::with_capacity(LENGTH_PREFIX_LEN + frame.len());
+    out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+    out.extend_from_slice(frame);
+    out
+}
+
+/// Incremental length-prefixed frame extractor.
+///
+/// Feed arbitrary byte chunks with [`extend`](FrameBuffer::extend); pop
+/// complete frames with [`next_frame`](FrameBuffer::next_frame).
+/// Partial prefixes and partial payloads simply stay buffered until the
+/// missing bytes arrive, so any split or coalescing the transport
+/// applies is invisible to the caller.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily so popping a frame is
+    /// O(frame) amortized rather than O(everything buffered).
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Appends a chunk of stream bytes.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet returned as a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pops the next complete frame, if one is buffered.
+    ///
+    /// Returns `Ok(None)` when the buffered bytes end mid-prefix or
+    /// mid-frame (truncation is not an error at this layer — more bytes
+    /// may still arrive).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] when the next length prefix announces
+    /// more than [`MAX_FRAME_LEN`] bytes. The buffer is poisoned from
+    /// that point on: the same error is returned on every later call,
+    /// because a desynchronized stream has no frame boundaries left.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < LENGTH_PREFIX_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(
+            avail[..LENGTH_PREFIX_LEN]
+                .try_into()
+                .expect("prefix length checked above"),
+        ) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized { len });
+        }
+        if avail.len() < LENGTH_PREFIX_LEN + len {
+            return Ok(None);
+        }
+        let frame = Bytes::copy_from_slice(&avail[LENGTH_PREFIX_LEN..LENGTH_PREFIX_LEN + len]);
+        self.start += LENGTH_PREFIX_LEN + len;
+        self.compact();
+        Ok(Some(frame))
+    }
+
+    /// Reclaims the consumed prefix once it dominates the buffer.
+    fn compact(&mut self) {
+        if self.start > 0 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Message;
+
+    fn sample(round: u32) -> Bytes {
+        Message::GlobalModel {
+            round,
+            params: vec![1.5, -2.5, 0.25],
+        }
+        .encode()
+    }
+
+    #[test]
+    fn whole_frame_roundtrips() {
+        let frame = sample(3);
+        let mut fb = FrameBuffer::new();
+        fb.extend(&prefix_frame(&frame));
+        assert_eq!(fb.next_frame().unwrap().unwrap(), frame);
+        assert_eq!(fb.next_frame().unwrap(), None);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn one_byte_dribble_roundtrips() {
+        let frame = sample(9);
+        let wire = prefix_frame(&frame);
+        let mut fb = FrameBuffer::new();
+        for (i, &b) in wire.iter().enumerate() {
+            fb.extend(&[b]);
+            let got = fb.next_frame().unwrap();
+            if i + 1 < wire.len() {
+                assert_eq!(got, None, "no frame before byte {}", wire.len());
+            } else {
+                assert_eq!(got.unwrap(), frame);
+            }
+        }
+    }
+
+    #[test]
+    fn coalesced_frames_split_apart() {
+        let frames: Vec<Bytes> = (0..4).map(sample).collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&prefix_frame(f));
+        }
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire);
+        for f in &frames {
+            assert_eq!(&fb.next_frame().unwrap().unwrap(), f);
+        }
+        assert_eq!(fb.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_payload_waits_for_more() {
+        let frame = sample(1);
+        let wire = prefix_frame(&frame);
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire[..wire.len() - 1]);
+        assert_eq!(fb.next_frame().unwrap(), None);
+        fb.extend(&wire[wire.len() - 1..]);
+        assert_eq!(fb.next_frame().unwrap().unwrap(), frame);
+    }
+
+    #[test]
+    fn oversized_prefix_is_fatal_without_allocating() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&u32::MAX.to_le_bytes());
+        let err = fb.next_frame().unwrap_err();
+        assert_eq!(
+            err,
+            FrameError::Oversized {
+                len: u32::MAX as usize
+            }
+        );
+        // Poisoned: the same violation keeps being reported.
+        assert!(fb.next_frame().is_err());
+        assert!(err.to_string().contains("bound"));
+    }
+
+    #[test]
+    fn empty_frame_is_legal() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&prefix_frame(&[]));
+        assert_eq!(fb.next_frame().unwrap().unwrap().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_FRAME_LEN")]
+    fn prefixing_an_oversized_frame_panics() {
+        let _ = prefix_frame(&vec![0u8; MAX_FRAME_LEN + 1]);
+    }
+
+    #[test]
+    fn compaction_keeps_pending_consistent() {
+        let frame = sample(2);
+        let wire = prefix_frame(&frame);
+        let mut fb = FrameBuffer::new();
+        for _ in 0..64 {
+            fb.extend(&wire);
+            assert_eq!(fb.next_frame().unwrap().unwrap(), frame);
+            assert_eq!(fb.pending(), 0);
+        }
+    }
+}

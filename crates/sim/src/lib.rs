@@ -10,6 +10,9 @@
 //! * [`message`] — the wire protocol: length-prefixed binary frames for
 //!   model broadcasts and updates, so byte counts are real serialized
 //!   sizes, not estimates;
+//! * [`framing`] — the stream layer below it: a `u32` length prefix per
+//!   frame plus [`FrameBuffer`], the partial-read-hardened incremental
+//!   decoder real sockets need;
 //! * [`network`] — per-link bandwidth/latency/loss models with
 //!   retransmission accounting;
 //! * [`stats`] — communication and computation meters;
@@ -22,6 +25,7 @@
 
 pub mod adaptive;
 pub mod energy;
+pub mod framing;
 pub mod message;
 pub mod network;
 pub mod runner;
@@ -30,6 +34,7 @@ pub mod trace;
 
 pub use adaptive::{run_adaptive_fedml, AdaptiveOutput, AdaptiveT0Config};
 pub use energy::{EnergyModel, EnergyStats};
+pub use framing::{prefix_frame, FrameBuffer, FrameError, LENGTH_PREFIX_LEN, MAX_FRAME_LEN};
 pub use message::{Message, PROTOCOL_VERSION};
 pub use network::{LinkModel, Network, IDEAL_BANDWIDTH_BPS};
 pub use runner::{EdgeProfile, SimConfig, SimOutput, SimRunner, DERIVED_DEADLINE_HEADROOM};

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Multi-process transport smoke gate: runs one platform process and six
+# node processes over TCP loopback — real processes, real sockets,
+# nothing shared but the config file — and requires the final model to
+# hash bitwise-identical to the single-process channel run. Every wait
+# is bounded, so a hang fails the gate instead of wedging CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build -q -p fml-cli --bin fedml
+BIN=target/debug/fedml
+
+work=$(mktemp -d)
+cleanup() {
+    kill $(jobs -p) 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+# 8 nodes at source_frac 0.75 -> 6 source nodes, i.e. 6 node processes.
+cat > "$work/cfg.json" <<'EOF'
+{
+  "seed": 11,
+  "source_frac": 0.75,
+  "dataset": {
+    "kind": "synthetic",
+    "alpha": 0.5,
+    "beta": 0.5,
+    "nodes": 8,
+    "dim": 6,
+    "classes": 3,
+    "mean_samples": 18.0
+  },
+  "model": { "kind": "softmax", "l2": 0.001 },
+  "algorithm": {
+    "kind": "fedml",
+    "alpha": 0.05,
+    "beta": 0.05,
+    "local_steps": 2,
+    "rounds": 3,
+    "first_order": false
+  },
+  "simulate": null,
+  "eval": { "k": 4, "adapt_steps": 3, "adapt_lr": 0.05, "fgsm_xi": null }
+}
+EOF
+
+# Oracle: the same federation in one process over channels.
+"$BIN" runtime "$work/cfg.json" --json "$work/channel.json" > /dev/null
+
+# Platform side: bind an ephemeral TCP port and report it on stderr.
+"$BIN" runtime "$work/cfg.json" --transport tcp --listen 127.0.0.1:0 \
+    --json "$work/tcp.json" > "$work/platform.out" 2> "$work/platform.err" &
+platform=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    line=$(grep -m1 "platform listening on" "$work/platform.err" || true)
+    if [ -n "$line" ]; then
+        addr=$(echo "$line" | sed 's/^platform listening on \([^ ]*\) .*/\1/')
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "transport smoke: platform never reported its address" >&2
+    exit 1
+fi
+nodes=$(echo "$line" | sed 's/.*(\([0-9]*\) nodes expected).*/\1/')
+
+# Node side: one OS process per source node.
+for i in $(seq 0 $((nodes - 1))); do
+    "$BIN" runtime "$work/cfg.json" --transport tcp \
+        --connect "$addr" --node "$i" > "$work/node$i.out" 2>&1 &
+done
+
+# Bounded wait: a healthy run takes a couple of seconds.
+for _ in $(seq 1 600); do
+    kill -0 "$platform" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$platform" 2>/dev/null; then
+    echo "transport smoke: platform hung; node logs follow" >&2
+    tail -n 5 "$work"/node*.out >&2 || true
+    exit 1
+fi
+if ! wait "$platform"; then
+    echo "transport smoke: platform failed" >&2
+    cat "$work/platform.err" >&2
+    exit 1
+fi
+wait
+
+hash_of() {
+    sed -n 's/.*"param_hash": "\([0-9a-f]\{16\}\)".*/\1/p' "$1" | head -n 1
+}
+channel_hash=$(hash_of "$work/channel.json")
+tcp_hash=$(hash_of "$work/tcp.json")
+if [ -z "$channel_hash" ] || [ "$channel_hash" != "$tcp_hash" ]; then
+    echo "transport smoke: param hash mismatch: channel=$channel_hash tcp=$tcp_hash" >&2
+    exit 1
+fi
+if ! grep -q '"transport": "tcp"' "$work/tcp.json"; then
+    echo "transport smoke: TCP report does not record its transport" >&2
+    exit 1
+fi
+echo "transport smoke: OK ($nodes node processes over tcp, param hash $tcp_hash == channel)"

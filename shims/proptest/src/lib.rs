@@ -55,6 +55,116 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream's `prop_map`).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter applying a function to every generated value.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical full-range strategy (upstream's `Arbitrary`,
+/// trimmed to the primitives the workspace generates).
+pub trait Arbitrary {
+    /// Draws one unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                // Truncating a full-range u64 keeps every bit pattern of
+                // the narrower type equally likely.
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+/// Strategy over a type's full value range — see [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Full-range strategy for an [`Arbitrary`] type: `any::<u8>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform choice between strategies of one value type — built by
+/// [`prop_oneof!`].
+pub struct OneOf<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> OneOf<V> {
+    /// An empty choice; useless until [`or`](OneOf::or) adds options.
+    pub fn new() -> Self {
+        OneOf {
+            options: Vec::new(),
+        }
+    }
+
+    /// Adds one alternative.
+    pub fn or(mut self, s: impl Strategy<Value = V> + 'static) -> Self {
+        self.options.push(Box::new(s));
+        self
+    }
+}
+
+impl<V> Default for OneOf<V> {
+    fn default() -> Self {
+        OneOf::new()
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        assert!(!self.options.is_empty(), "prop_oneof! of zero strategies");
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Uniformly picks one of several strategies per case (upstream's
+/// weightless `prop_oneof!` form).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::OneOf::new()$(.or($s))+
+    };
 }
 
 impl Strategy for core::ops::Range<f64> {
@@ -202,11 +312,16 @@ pub mod collection {
     }
 }
 
+/// Namespace mirror of upstream's `prop::` paths (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
 /// Common imports for property tests.
 pub mod prelude {
-    pub use crate::collection;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
-    pub use crate::{Just, ProptestConfig, Strategy};
+    pub use crate::{any, collection, prop};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Arbitrary, Just, ProptestConfig, Strategy};
 }
 
 /// Asserts a condition inside a property test.

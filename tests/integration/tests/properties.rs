@@ -7,6 +7,7 @@ use fml_data::NodeData;
 use fml_dro::{RobustSurrogate, SquaredL2Cost};
 use fml_linalg::{vector, Matrix};
 use fml_models::{Batch, LinearRegression, Model, Quadratic, SoftmaxRegression, Target};
+use fml_sim::{prefix_frame, FrameBuffer, FrameError, Message, LENGTH_PREFIX_LEN, MAX_FRAME_LEN};
 use proptest::prelude::*;
 use rand::SeedableRng;
 
@@ -155,5 +156,125 @@ proptest! {
         vector::axpy(-0.05, &g, &mut next);
         let after = fml_core::meta::meta_objective(&model, &next, &batch, &batch, 0.2);
         prop_assert!(after <= before + 1e-9, "{before} -> {after}");
+    }
+}
+
+/// An arbitrary platform⇄edge message with a small parameter payload.
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (0u32..1000, prop::collection::vec(-1e3f64..1e3, 0..8))
+            .prop_map(|(round, params)| Message::GlobalModel { round, params }),
+        (0u32..1000, 0u32..64, prop::collection::vec(-1e3f64..1e3, 0..8)).prop_map(
+            |(round, node, params)| Message::ModelUpdate {
+                round,
+                node,
+                params
+            }
+        ),
+    ]
+}
+
+proptest! {
+    /// Stream framing is chunking-invariant: however the kernel dribbles
+    /// or coalesces the byte stream, the exact frame sequence comes out.
+    #[test]
+    fn prop_framing_survives_arbitrary_chunking(
+        msgs in prop::collection::vec(arb_message(), 1..6),
+        cuts in prop::collection::vec(1usize..9, 0..64),
+    ) {
+        let frames: Vec<_> = msgs.iter().map(Message::encode).collect();
+        let stream: Vec<u8> = frames.iter().flat_map(|f| prefix_frame(f)).collect();
+
+        let mut buf = FrameBuffer::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        let mut cuts = cuts.into_iter();
+        while pos < stream.len() {
+            let step = cuts.next().unwrap_or(usize::MAX).min(stream.len() - pos);
+            buf.extend(&stream[pos..pos + step]);
+            pos += step;
+            while let Some(frame) = buf.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        prop_assert_eq!(&got, &frames);
+        prop_assert_eq!(buf.pending(), 0);
+        // And every recovered frame decodes back to the message sent.
+        for (frame, msg) in got.iter().zip(&msgs) {
+            prop_assert_eq!(&Message::decode(frame).unwrap(), msg);
+        }
+    }
+
+    /// A truncated stream is a stall, never a panic or an error: the
+    /// frames whose bytes fully arrived come out, the tail stays pending.
+    #[test]
+    fn prop_truncated_streams_stall_without_panicking(
+        msgs in prop::collection::vec(arb_message(), 1..5),
+        cut_back in 1usize..40,
+    ) {
+        let frames: Vec<_> = msgs.iter().map(Message::encode).collect();
+        let stream: Vec<u8> = frames.iter().flat_map(|f| prefix_frame(f)).collect();
+        let cut = stream.len().saturating_sub(cut_back);
+
+        let mut buf = FrameBuffer::new();
+        buf.extend(&stream[..cut]);
+        let mut whole = Vec::new();
+        while let Some(frame) = buf.next_frame().unwrap() {
+            whole.push(frame);
+        }
+        // Exactly the frames that fit before the cut, in order.
+        let mut fits = Vec::new();
+        let mut consumed = 0;
+        for frame in &frames {
+            consumed += LENGTH_PREFIX_LEN + frame.len();
+            if consumed <= cut {
+                fits.push(frame.clone());
+            } else {
+                break;
+            }
+        }
+        prop_assert_eq!(&whole, &fits);
+        // The missing tail is a stall, not an error...
+        prop_assert_eq!(buf.next_frame(), Ok(None));
+        // ...and feeding the rest completes the sequence.
+        buf.extend(&stream[cut..]);
+        while let Some(frame) = buf.next_frame().unwrap() {
+            whole.push(frame);
+        }
+        prop_assert_eq!(&whole, &frames);
+    }
+
+    /// A garbage length prefix poisons the buffer instead of allocating:
+    /// every announced length past the bound is rejected, and the buffer
+    /// keeps rejecting after more bytes arrive (the stream has no frame
+    /// boundaries left to trust).
+    #[test]
+    fn prop_garbage_prefixes_never_panic_or_allocate(
+        len in (MAX_FRAME_LEN as u32 + 1)..=u32::MAX,
+        junk in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut buf = FrameBuffer::new();
+        buf.extend(&len.to_le_bytes());
+        buf.extend(&junk);
+        let err = FrameError::Oversized { len: len as usize };
+        prop_assert_eq!(buf.next_frame(), Err(err.clone()));
+        buf.extend(&prefix_frame(&Message::GlobalModel { round: 1, params: vec![] }.encode()));
+        prop_assert_eq!(buf.next_frame(), Err(err));
+    }
+
+    /// `Message::decode` is total over arbitrary frames: random bytes
+    /// produce a `DecodeError`, never a panic — the property the socket
+    /// transports rely on when a peer sends garbage *inside* a
+    /// well-formed frame.
+    #[test]
+    fn prop_message_decode_never_panics(frame in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&frame);
+    }
+
+    /// Decode inverts encode for every message, so transports can treat
+    /// frames as opaque bytes without losing information.
+    #[test]
+    fn prop_message_codec_roundtrips(msg in arb_message()) {
+        prop_assert_eq!(&Message::decode(&msg.encode()).unwrap(), &msg);
     }
 }

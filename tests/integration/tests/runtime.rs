@@ -106,6 +106,9 @@ fn every_frame_crosses_the_wire_encoded() {
     }
     assert_eq!(out.report.decode_errors, 0);
     assert_eq!(out.report.undelivered, 0);
+    // Broadcast drops are accounted per round: one bucket per round,
+    // all empty in a benign run.
+    assert_eq!(out.report.broadcast_drops, vec![0, 0, 0]);
 }
 
 #[test]
@@ -144,6 +147,15 @@ proptest! {
         );
         prop_assert!(
             out.report.max_applied_staleness().is_none_or(|s| s <= max_staleness)
+        );
+        // Every round gets a broadcast-drop bucket, and whatever was
+        // dropped at broadcast time is part of the undelivered total.
+        prop_assert_eq!(out.report.broadcast_drops.len(), 5);
+        let dropped: u64 = out.report.broadcast_drops.iter().sum();
+        prop_assert!(
+            dropped <= out.report.undelivered,
+            "broadcast drops {} exceed undelivered {}",
+            dropped, out.report.undelivered
         );
         prop_assert!(out.train.params.iter().all(|x| x.is_finite()));
     }
