@@ -1,0 +1,435 @@
+//! Fleet-scale benches for the pooled zero-copy frame path (PR 6).
+//!
+//! Measures, at 10k simulated nodes:
+//!
+//! * **per-hop allocation count and bytes** — the owned
+//!   `Message::encode`/`Message::decode` path (one payload-sized buffer
+//!   per encode plus a `Vec<f64>` per decode) against the pooled
+//!   `encode_*_into` + [`MessageView`] path, where payload storage
+//!   cycles through a [`FramePool`] and decode borrows the frame. The
+//!   counting `#[global_allocator]` makes the reduction a measured
+//!   number, not an assertion;
+//! * **broadcast fan-out** — encoding the global frame once per node
+//!   versus encoding once and sharing one refcounted frame across all
+//!   10k links, in both time and bytes allocated per round;
+//! * **rounds/sec** — a single-threaded frame-plumbing round (every
+//!   hop of a barrier round without the trainer, isolating the message
+//!   path the pool optimizes) and the real actor runtime driving 10k
+//!   node actors end to end.
+//!
+//! Timed runs (not `--test`) write a `scale` section to `BENCH_pr6.json`
+//! at the repository root.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{black_box, Criterion};
+use fml_core::{FedMl, FedMlConfig, SourceTask};
+use fml_models::{Model, SoftmaxRegression};
+use fml_runtime::{Runtime, RuntimeConfig};
+use fml_sim::message::{encode_global_into, encode_update_into, encoded_frame_len};
+use fml_sim::{FramePool, Message, MessageView};
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// System-allocator wrapper that counts calls and requested bytes.
+/// Counters are monotonic; measurements subtract snapshots, so the
+/// (multi-threaded) runtime bench only needs relaxed atomics.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every allocation verbatim to `System`; the counter
+// updates touch no allocator state.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns `(result, alloc_calls, alloc_bytes)` during it.
+fn counted<R>(f: impl FnOnce() -> R) -> (R, u64, u64) {
+    let calls0 = ALLOC_CALLS.load(Ordering::Relaxed);
+    let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let out = f();
+    (
+        out,
+        ALLOC_CALLS.load(Ordering::Relaxed) - calls0,
+        ALLOC_BYTES.load(Ordering::Relaxed) - bytes0,
+    )
+}
+
+const NODES: usize = 10_000;
+/// Softmax-regression size used throughout (dim 20 × 5 classes + bias).
+const PARAMS: usize = 105;
+const HOP_SAMPLES: u64 = 10_000;
+
+fn params() -> Vec<f64> {
+    (0..PARAMS).map(|i| i as f64 * 0.25 - 3.0).collect()
+}
+
+/// One owned hop: allocate-encode a frame, allocate-decode it back.
+fn hop_owned(msg: &Message) -> f64 {
+    let frame = msg.encode();
+    match Message::decode(&frame).expect("self-encoded") {
+        Message::GlobalModel { params, .. } | Message::ModelUpdate { params, .. } => params[0],
+    }
+}
+
+/// One pooled hop: encode into a pooled buffer, decode through the
+/// borrowed view into a reused scratch vector, recycle the frame.
+fn hop_pooled(pool: &FramePool, scratch: &mut Vec<f64>, round: u32, src: &[f64]) -> f64 {
+    let mut buf = pool.acquire(encoded_frame_len(src.len()));
+    encode_global_into(round, src, &mut buf);
+    let frame = buf.freeze();
+    MessageView::parse(&frame)
+        .expect("self-encoded")
+        .copy_params_into(scratch);
+    pool.recycle(frame);
+    scratch[0]
+}
+
+/// Per-hop allocation counts for both paths, measured in steady state
+/// (pool and scratch warmed first so one-time setup is excluded).
+struct HopAllocs {
+    owned_calls: f64,
+    owned_bytes: f64,
+    pooled_calls: f64,
+    pooled_bytes: f64,
+}
+
+fn measure_hop_allocs() -> HopAllocs {
+    let src = params();
+    let msg = Message::GlobalModel {
+        round: 7,
+        params: src.clone(),
+    };
+    let pool = FramePool::new();
+    let mut scratch = Vec::new();
+    for round in 0..64 {
+        black_box(hop_owned(&msg));
+        black_box(hop_pooled(&pool, &mut scratch, round, &src));
+    }
+    let (_, owned_calls, owned_bytes) = counted(|| {
+        for _ in 0..HOP_SAMPLES {
+            black_box(hop_owned(&msg));
+        }
+    });
+    let (_, pooled_calls, pooled_bytes) = counted(|| {
+        for round in 0..HOP_SAMPLES {
+            black_box(hop_pooled(&pool, &mut scratch, round as u32, &src));
+        }
+    });
+    HopAllocs {
+        owned_calls: owned_calls as f64 / HOP_SAMPLES as f64,
+        owned_bytes: owned_bytes as f64 / HOP_SAMPLES as f64,
+        pooled_calls: pooled_calls as f64 / HOP_SAMPLES as f64,
+        pooled_bytes: pooled_bytes as f64 / HOP_SAMPLES as f64,
+    }
+}
+
+fn bench_hops(c: &mut Criterion) {
+    let src = params();
+    let msg = Message::GlobalModel {
+        round: 7,
+        params: src.clone(),
+    };
+    let pool = FramePool::new();
+    let mut scratch = Vec::new();
+    let mut round = 0u32;
+    let mut group = c.benchmark_group("scale");
+    group.bench_function("hop_owned", |b| b.iter(|| hop_owned(black_box(&msg))));
+    group.bench_function("hop_pooled", |b| {
+        b.iter(|| {
+            round = round.wrapping_add(1);
+            hop_pooled(&pool, &mut scratch, round, black_box(&src))
+        })
+    });
+    group.finish();
+}
+
+/// Broadcast fan-out across 10k links: per-link encode vs one pooled
+/// encode shared by refcounted clones. Returns bytes allocated per
+/// round by each strategy.
+fn bench_broadcast(c: &mut Criterion) -> (u64, u64) {
+    let src = params();
+    let msg = Message::GlobalModel {
+        round: 3,
+        params: src.clone(),
+    };
+    let pool = FramePool::new();
+    let fan_owned = || {
+        let mut total = 0usize;
+        for _ in 0..NODES {
+            total += msg.encode().len();
+        }
+        total
+    };
+    let fan_shared = || {
+        let mut buf = pool.acquire(encoded_frame_len(src.len()));
+        encode_global_into(3, &src, &mut buf);
+        let frame = buf.freeze();
+        let mut total = 0usize;
+        for _ in 0..NODES {
+            total += frame.clone().len();
+        }
+        pool.recycle(frame);
+        total
+    };
+    let mut group = c.benchmark_group("scale");
+    group.bench_function("broadcast_owned_10000", |b| b.iter(fan_owned));
+    group.bench_function("broadcast_shared_10000", |b| b.iter(fan_shared));
+    group.finish();
+    // Warm the pool, then count one steady-state round of each.
+    black_box(fan_shared());
+    let (_, _, owned_bytes) = counted(|| black_box(fan_owned()));
+    let (_, _, shared_bytes) = counted(|| black_box(fan_shared()));
+    (owned_bytes, shared_bytes)
+}
+
+/// A full barrier round's message plumbing at 10k nodes, no trainer:
+/// broadcast to every node, every node decodes and replies with its
+/// params, the platform decodes and aggregates each reply. This is
+/// exactly the per-round frame traffic the runtime generates, isolated
+/// from training compute so the frame path dominates the measurement.
+fn bench_fleet_round(c: &mut Criterion) {
+    let src = params();
+    let weight = 1.0 / NODES as f64;
+
+    let round_owned = || {
+        let mut agg = vec![0.0f64; PARAMS];
+        let broadcast = Message::GlobalModel {
+            round: 1,
+            params: src.clone(),
+        };
+        for node in 0..NODES {
+            // Down-link: per-node encode of the same global frame.
+            let frame = broadcast.encode();
+            let start = match Message::decode(&frame).expect("self-encoded") {
+                Message::GlobalModel { params, .. } => params,
+                Message::ModelUpdate { .. } => unreachable!(),
+            };
+            // Up-link: the node's reply, decoded and folded in.
+            let reply = Message::ModelUpdate {
+                round: 1,
+                node: node as u32,
+                params: start,
+            }
+            .encode();
+            let update = match Message::decode(&reply).expect("self-encoded") {
+                Message::ModelUpdate { params, .. } => params,
+                Message::GlobalModel { .. } => unreachable!(),
+            };
+            for (g, u) in agg.iter_mut().zip(&update) {
+                *g += weight * u;
+            }
+        }
+        agg[0]
+    };
+
+    let pool = FramePool::new();
+    let mut start = Vec::new();
+    let src_pooled = src.clone();
+    let mut round_pooled = move || {
+        let mut agg = vec![0.0f64; PARAMS];
+        let mut buf = pool.acquire(encoded_frame_len(PARAMS));
+        encode_global_into(1, &src_pooled, &mut buf);
+        let broadcast = buf.freeze();
+        for node in 0..NODES {
+            // Down-link: refcounted clone of the single encode.
+            let frame = broadcast.clone();
+            MessageView::parse(&frame)
+                .expect("self-encoded")
+                .copy_params_into(&mut start);
+            // Up-link: pooled reply, aggregated straight off the view.
+            let mut buf = pool.acquire(encoded_frame_len(start.len()));
+            encode_update_into(1, node as u32, &start, &mut buf);
+            let reply = buf.freeze();
+            let view = MessageView::parse(&reply).expect("self-encoded");
+            for (g, u) in agg.iter_mut().zip(view.params_iter()) {
+                *g += weight * u;
+            }
+            pool.recycle(reply);
+        }
+        pool.recycle(broadcast);
+        agg[0]
+    };
+
+    let mut group = c.benchmark_group("scale");
+    group.bench_function("fleet_round_owned_10000", |b| b.iter(round_owned));
+    group.bench_function("fleet_round_pooled_10000", |b| b.iter(&mut round_pooled));
+    group.finish();
+}
+
+/// The real actor runtime at 10k nodes: barrier mode, worker pool at
+/// host parallelism, 2 rounds of a small softmax model so the frame
+/// path and fan-out — not the trainer — dominate.
+fn bench_runtime_10k(c: &mut Criterion) {
+    const DIM: usize = 8;
+    const CLASSES: usize = 3;
+    const ROUNDS: usize = 2;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let fed = fml_data::synthetic::SyntheticConfig::new(0.5, 0.5)
+        .with_nodes(NODES)
+        .with_dim(DIM)
+        .with_classes(CLASSES)
+        .with_mean_samples(12.0)
+        .generate(&mut rng);
+    let tasks = SourceTask::from_nodes_deterministic(fed.nodes(), 4);
+    let model = SoftmaxRegression::new(DIM, CLASSES).with_l2(1e-3);
+    let theta0 = model.init_params(&mut rng);
+    let fedml = FedMl::new(
+        FedMlConfig::new(0.01, 0.01)
+            .with_local_steps(2)
+            .with_rounds(ROUNDS)
+            .with_record_every(0),
+    );
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let cfg = RuntimeConfig::barrier(11).with_threads(threads).with_mailbox_cap(4);
+    let mut group = c.benchmark_group("scale");
+    group.bench_function("runtime_barrier_10000_nodes", |b| {
+        b.iter(|| {
+            Runtime::new(cfg.clone()).run(&fedml, &model, black_box(&tasks), &theta0)
+        })
+    });
+    group.finish();
+}
+
+/// The scale numbers criterion timings alone cannot express.
+#[derive(Serialize)]
+struct ScaleStats {
+    nodes: usize,
+    frame_params: usize,
+    /// Steady-state allocator calls per hop, owned path.
+    hop_allocs_owned: f64,
+    /// Steady-state allocator calls per hop, pooled path.
+    hop_allocs_pooled: f64,
+    /// `hop_allocs_owned / hop_allocs_pooled` — the acceptance number.
+    hop_alloc_reduction: f64,
+    /// Steady-state bytes requested per hop, both paths.
+    hop_bytes_owned: f64,
+    hop_bytes_pooled: f64,
+    /// Bytes allocated by one 10k-link broadcast round, both paths.
+    broadcast_bytes_owned: u64,
+    broadcast_bytes_shared: u64,
+    /// Barrier rounds per second on the real 10k-node runtime.
+    runtime_rounds_per_sec: f64,
+    /// Plumbing-only rounds per second, owned vs pooled frame path.
+    fleet_rounds_per_sec_owned: f64,
+    fleet_rounds_per_sec_pooled: f64,
+}
+
+#[derive(Serialize)]
+struct ScaleSection {
+    host_parallelism: usize,
+    results: Vec<fml_bench::perf::PerfResult>,
+    comparisons: Vec<fml_bench::perf::PerfComparison>,
+    stats: ScaleStats,
+}
+
+#[derive(Serialize)]
+struct ScaleReport {
+    scale: ScaleSection,
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_hops(&mut c);
+    let (broadcast_bytes_owned, broadcast_bytes_shared) = bench_broadcast(&mut c);
+    bench_fleet_round(&mut c);
+    bench_runtime_10k(&mut c);
+
+    // `--test` mode: every body ran once; nothing to record.
+    if c.results().is_empty() {
+        return;
+    }
+    let hops = measure_hop_allocs();
+    let results: Vec<fml_bench::perf::PerfResult> = c
+        .results()
+        .iter()
+        .map(|r| fml_bench::perf::PerfResult {
+            id: r.id.clone(),
+            ns_per_iter: r.ns_per_iter,
+        })
+        .collect();
+    let ns_of = |id: &str| {
+        results
+            .iter()
+            .find(|r| r.id == id)
+            .map_or(f64::NAN, |r| r.ns_per_iter)
+    };
+    let rounds_per_sec = |id: &str, rounds_per_iter: f64| 1e9 * rounds_per_iter / ns_of(id);
+    let comparisons: Vec<fml_bench::perf::PerfComparison> = [
+        fml_bench::perf::comparison(
+            "pooled_hop_vs_owned",
+            &results,
+            "scale/hop_owned",
+            "scale/hop_pooled",
+        ),
+        fml_bench::perf::comparison(
+            "shared_broadcast_vs_per_link_encode_10000",
+            &results,
+            "scale/broadcast_owned_10000",
+            "scale/broadcast_shared_10000",
+        ),
+        fml_bench::perf::comparison(
+            "pooled_fleet_round_vs_owned_10000",
+            &results,
+            "scale/fleet_round_owned_10000",
+            "scale/fleet_round_pooled_10000",
+        ),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+    let stats = ScaleStats {
+        nodes: NODES,
+        frame_params: PARAMS,
+        hop_allocs_owned: hops.owned_calls,
+        hop_allocs_pooled: hops.pooled_calls,
+        hop_alloc_reduction: hops.owned_calls / hops.pooled_calls.max(f64::MIN_POSITIVE),
+        hop_bytes_owned: hops.owned_bytes,
+        hop_bytes_pooled: hops.pooled_bytes,
+        broadcast_bytes_owned,
+        broadcast_bytes_shared,
+        runtime_rounds_per_sec: rounds_per_sec("scale/runtime_barrier_10000_nodes", 2.0),
+        fleet_rounds_per_sec_owned: rounds_per_sec("scale/fleet_round_owned_10000", 1.0),
+        fleet_rounds_per_sec_pooled: rounds_per_sec("scale/fleet_round_pooled_10000", 1.0),
+    };
+    println!(
+        "allocs/hop: owned {:.2} vs pooled {:.2} ({:.1}x reduction); \
+         bytes/hop: owned {:.0} vs pooled {:.0}",
+        stats.hop_allocs_owned,
+        stats.hop_allocs_pooled,
+        stats.hop_alloc_reduction,
+        stats.hop_bytes_owned,
+        stats.hop_bytes_pooled,
+    );
+    let section = ScaleSection {
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        results,
+        comparisons,
+        stats,
+    };
+    let json =
+        serde_json::to_string_pretty(&ScaleReport { scale: section }).expect("serialize report");
+    let path = fml_bench::perf::report_path_named("BENCH_pr6.json");
+    std::fs::write(&path, json + "\n").expect("write bench report");
+    println!("wrote scale section to {}", path.display());
+}

@@ -202,6 +202,11 @@ pub struct RuntimeOptions {
     pub max_staleness: usize,
     /// Worker-thread override; `None` auto-sizes.
     pub threads: Option<usize>,
+    /// Per-node broadcast mailbox capacity override; `None` keeps the
+    /// runtime default. Larger mailboxes absorb scheduling jitter at
+    /// fleet scale (fewer dropped broadcasts), at ~one frame of memory
+    /// per slot per node.
+    pub mailbox_cap: Option<usize>,
     /// Seed override; `None` uses the config's seed.
     pub seed: Option<u64>,
     /// Transport the platform⇄node links ride on.
@@ -221,6 +226,7 @@ impl Default for RuntimeOptions {
             mode: RuntimeMode::Barrier,
             max_staleness: 4,
             threads: None,
+            mailbox_cap: None,
             seed: None,
             transport: TransportKind::Channel,
             listen: None,
@@ -327,6 +333,9 @@ fn build_runtime_config(opts: &RuntimeOptions, seed: u64) -> RuntimeConfig {
     };
     if let Some(threads) = opts.threads {
         rt_cfg = rt_cfg.with_threads(threads);
+    }
+    if let Some(cap) = opts.mailbox_cap {
+        rt_cfg = rt_cfg.with_mailbox_cap(cap);
     }
     rt_cfg
 }

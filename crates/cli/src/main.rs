@@ -7,7 +7,7 @@
 //!       [--json <out.json>]    additionally dump the report as JSON
 //! fedml runtime <config.json>  run on the thread-per-node actor runtime
 //!       [--mode barrier|async] [--max-staleness N] [--threads N]
-//!       [--seed N] [--json <out.json>]
+//!       [--mailbox-cap N] [--seed N] [--json <out.json>]
 //!       [--transport channel|tcp|uds] [--listen <addr>]   platform side
 //!       [--connect <addr> --node <id>]                    node side
 //! ```
@@ -37,7 +37,7 @@ const USAGE: &str = "usage:
   fedml stats <config.json>         print dataset statistics
   fedml run <config.json> [--json <out.json>]
   fedml runtime <config.json> [--mode barrier|async] [--max-staleness N]
-        [--threads N] [--seed N] [--json <out.json>]
+        [--threads N] [--mailbox-cap N] [--seed N] [--json <out.json>]
         [--transport channel|tcp|uds] [--listen <addr>]
         [--connect <addr> --node <id>]
   (socket transports: run the platform with --listen, then one process
@@ -148,6 +148,15 @@ fn parse_runtime_flags(args: &[String]) -> Result<(RuntimeOptions, Option<String
                     return Err("--threads must be at least 1".into());
                 }
                 opts.threads = Some(t);
+            }
+            "--mailbox-cap" => {
+                let cap: usize = value("--mailbox-cap")?
+                    .parse()
+                    .map_err(|e| format!("bad --mailbox-cap: {e}"))?;
+                if cap == 0 {
+                    return Err("--mailbox-cap must be at least 1".into());
+                }
+                opts.mailbox_cap = Some(cap);
             }
             "--seed" => {
                 opts.seed = Some(

@@ -33,7 +33,8 @@ use bytes::Bytes;
 use fml_core::faults::corrupt;
 use fml_core::{Fault, FaultPlan, LocalStepper, SourceTask};
 use fml_models::Model;
-use fml_sim::Message;
+use fml_sim::message::{encode_update_into, encoded_frame_len};
+use fml_sim::{FramePool, Message, MessageView};
 
 use crate::report::NodeIo;
 use crate::transport::{ChannelTransport, Transport, TransportError};
@@ -90,25 +91,48 @@ pub(crate) struct WorkerOutcome {
     pub decode_errors: u64,
 }
 
-/// The shared per-broadcast step: decode, local-update, apply a corrupt
-/// fault, encode the reply. Counts the received frame into `io`, and
-/// the reply frame too when one is produced. Returns `None` (bumping
-/// `decode_errors`) on an unusable frame.
+/// Per-worker reusable storage: the decoded-global scratch vector and
+/// the frame pool handle replies are encoded through. One per worker
+/// thread (or transport peer), so the steady-state round touches the
+/// allocator only inside the stepper.
+pub(crate) struct StepScratch {
+    global: Vec<f64>,
+    pool: FramePool,
+}
+
+impl StepScratch {
+    pub(crate) fn new() -> Self {
+        StepScratch {
+            global: Vec::new(),
+            pool: FramePool::global().handle(),
+        }
+    }
+}
+
+/// The shared per-broadcast step: decode (borrowed view, no payload
+/// copy beyond the reused scratch), local-update, apply a corrupt
+/// fault, encode the reply into a pooled buffer. Counts the received
+/// frame into `io`, and the reply frame too when one is produced.
+/// Returns `None` (bumping `decode_errors`) on an unusable frame.
 fn step_reply(
     ctx: &WorkerCtx<'_>,
     node: usize,
     frame: &Bytes,
+    scratch: &mut StepScratch,
     io: &mut NodeIo,
     decode_errors: &mut u64,
 ) -> Option<Bytes> {
     io.frames_received += 1;
     io.bytes_received += frame.len() as u64;
-    // Decode on receive: the hardened path runs on every hop.
-    let (broadcast_round, global) = match Message::decode(frame) {
-        Ok(Message::GlobalModel { round, params }) => (round, params),
+    // Parse on receive: the hardened path runs on every hop.
+    let broadcast_round = match MessageView::parse(frame) {
+        Ok(view) if view.is_global() => {
+            view.copy_params_into(&mut scratch.global);
+            view.round()
+        }
         // A non-broadcast message here is a protocol violation; count
         // it like any other unusable frame.
-        Ok(Message::ModelUpdate { .. }) | Err(_) => {
+        Ok(_) | Err(_) => {
             *decode_errors += 1;
             return None;
         }
@@ -122,18 +146,18 @@ fn step_reply(
         // for a crashed round should never arrive. Honour the plan.
         return None;
     }
-    let mut update =
-        ctx.stepper
-            .local_update(ctx.model, &ctx.tasks[node], &global, ctx.local_steps);
+    let mut update = ctx.stepper.local_update(
+        ctx.model,
+        &ctx.tasks[node],
+        &scratch.global,
+        ctx.local_steps,
+    );
     if let Some(Fault::Corrupt(mode)) = fault {
         corrupt(mode, &mut update);
     }
-    let reply = Message::ModelUpdate {
-        round: broadcast_round,
-        node: node as u32,
-        params: update,
-    }
-    .encode();
+    let mut buf = scratch.pool.acquire(encoded_frame_len(update.len()));
+    encode_update_into(broadcast_round, node as u32, &update, &mut buf);
+    let reply = buf.freeze();
     io.frames_sent += 1;
     io.bytes_sent += reply.len() as u64;
     Some(reply)
@@ -142,6 +166,7 @@ fn step_reply(
 /// Services `actors` for the full round schedule, then reports.
 pub(crate) fn worker_loop(ctx: &WorkerCtx<'_>, mut actors: Vec<NodeActor>) -> WorkerOutcome {
     let mut decode_errors = 0u64;
+    let mut scratch = StepScratch::new();
     for round in 1..=ctx.rounds {
         for actor in &mut actors {
             if !actor.alive {
@@ -161,8 +186,18 @@ pub(crate) fn worker_loop(ctx: &WorkerCtx<'_>, mut actors: Vec<NodeActor>) -> Wo
                     continue;
                 }
             };
-            let Some(reply) = step_reply(ctx, actor.node, &frame, &mut actor.io, &mut decode_errors)
-            else {
+            let reply = step_reply(
+                ctx,
+                actor.node,
+                &frame,
+                &mut scratch,
+                &mut actor.io,
+                &mut decode_errors,
+            );
+            // The broadcast clone is spent; the last actor to drop it
+            // recycles the round's single encode for reuse.
+            scratch.pool.recycle(frame);
+            let Some(reply) = reply else {
                 continue;
             };
             if actor.link.send_frame(&reply).is_err() {
@@ -193,6 +228,7 @@ pub(crate) fn run_transport_peer(
         ..NodeIo::default()
     };
     let mut decode_errors = 0u64;
+    let mut scratch = StepScratch::new();
     let hello = Message::ModelUpdate {
         round: 0,
         node: node as u32,
@@ -221,11 +257,13 @@ pub(crate) fn run_transport_peer(
         };
         // Peek the round before stepping so the schedule's end is known
         // even when the frame turns out to be this node's crashed round.
-        let last = match Message::decode(&frame) {
-            Ok(Message::GlobalModel { round, .. }) => round as usize,
+        let last = match MessageView::parse(&frame) {
+            Ok(view) if view.is_global() => view.round() as usize,
             _ => 0,
         };
-        if let Some(reply) = step_reply(ctx, node, &frame, &mut io, &mut decode_errors) {
+        let reply = step_reply(ctx, node, &frame, &mut scratch, &mut io, &mut decode_errors);
+        scratch.pool.recycle(frame);
+        if let Some(reply) = reply {
             if link.send_frame(&reply).is_err() {
                 break;
             }

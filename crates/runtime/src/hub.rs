@@ -23,7 +23,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use fml_sim::{Message, LENGTH_PREFIX_LEN};
+use fml_sim::{FramePool, Message, LENGTH_PREFIX_LEN};
 
 use crate::report::NodeIo;
 use crate::transport::{Transport, TransportError, TransportListener};
@@ -288,6 +288,7 @@ fn install_peer(
 /// stream); exiting closes the link so the peer and the paired reader
 /// both observe EOF.
 fn writer_loop(mut link: Box<dyn Transport>, out_rx: &Receiver<Bytes>, counters: &PeerCounters) {
+    let pool = FramePool::global().handle();
     while let Ok(frame) = out_rx.recv() {
         if link.send_frame(&frame).is_err() {
             break;
@@ -296,6 +297,9 @@ fn writer_loop(mut link: Box<dyn Transport>, out_rx: &Receiver<Bytes>, counters:
         counters
             .bytes_to
             .fetch_add(frame.len() + LENGTH_PREFIX_LEN, Ordering::AcqRel);
+        // A broadcast is one encode shared across every peer's queue;
+        // the last writer to finish with it recycles the storage.
+        pool.recycle(frame);
     }
     link.close();
 }

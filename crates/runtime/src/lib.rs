@@ -72,6 +72,7 @@ pub mod config;
 mod hub;
 pub mod platform;
 pub mod report;
+mod schedule;
 pub mod transport;
 
 pub use clock::VirtualClock;

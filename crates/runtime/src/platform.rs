@@ -50,7 +50,8 @@ use fml_core::gather::{gather, screen_update, Submission, Validated};
 use fml_core::parallel::default_threads;
 use fml_core::{aggregate, Fault, LocalStepper, RoundRecord, SourceTask, TrainOutput};
 use fml_models::Model;
-use fml_sim::{Message, RoundTrace};
+use fml_sim::message::{encode_global_into, encoded_frame_len};
+use fml_sim::{FramePool, MessageView, RoundTrace};
 
 use crate::actor::{run_transport_peer, worker_loop, NodeActor, WorkerCtx};
 use crate::config::{AsyncPolicy, Mode, RuntimeConfig};
@@ -142,20 +143,25 @@ impl Runtime {
         };
 
         std::thread::scope(|scope| {
-            // Contiguous chunks, one worker per chunk (the same layout
-            // as fml_core::parallel::map_ordered).
-            let chunk_len = n.div_ceil(workers);
-            let mut handles = Vec::with_capacity(workers);
-            let mut link_iter = node_links.into_iter();
-            let mut next_node = 0usize;
-            while next_node < n {
-                let hi = (next_node + chunk_len).min(n);
-                let actors: Vec<NodeActor> = (next_node..hi)
-                    .map(|node| NodeActor::new(node, link_iter.next().expect("one link per node")))
+            // Cost-balanced chunks (LPT on the size-proportional task
+            // weights), one worker per chunk. The assignment affects
+            // wall-clock only: each node's update depends on the
+            // broadcast alone and the platform aggregates by node id,
+            // so results are identical under any partition.
+            let costs: Vec<f64> = tasks.iter().map(|t| t.weight).collect();
+            let groups = crate::schedule::balanced_chunks(&costs, workers);
+            let mut handles = Vec::with_capacity(groups.len());
+            let mut links: Vec<Option<_>> = node_links.into_iter().map(Some).collect();
+            for group in groups {
+                let actors: Vec<NodeActor> = group
+                    .into_iter()
+                    .map(|node| {
+                        let link = links[node].take().expect("one link per node");
+                        NodeActor::new(node, link)
+                    })
                     .collect();
                 let ctx = &ctx;
                 handles.push(scope.spawn(move || worker_loop(ctx, actors)));
-                next_node = hi;
             }
 
             let mut platform = Platform {
@@ -180,6 +186,7 @@ impl Runtime {
                 },
                 history: Vec::new(),
                 comm_rounds: 0,
+                pool: FramePool::global().handle(),
             };
             let params = match self.cfg.mode {
                 Mode::Barrier => platform.run_barrier(theta0),
@@ -293,6 +300,7 @@ impl Runtime {
             },
             history: Vec::new(),
             comm_rounds: 0,
+            pool: FramePool::global().handle(),
         };
         let params = match self.cfg.mode {
             Mode::Barrier => platform.run_barrier(theta0),
@@ -396,6 +404,10 @@ struct Platform<'a> {
     report: RuntimeReport,
     history: Vec<RoundRecord>,
     comm_rounds: usize,
+    /// Frame storage recycled across rounds (shared with the actors and
+    /// the hub via [`FramePool::global`], so a broadcast buffer released
+    /// by whichever side drops the last handle serves the next round).
+    pool: FramePool,
 }
 
 impl Platform<'_> {
@@ -424,11 +436,12 @@ impl Platform<'_> {
     /// Called exactly once per round, so the per-round drop count lands
     /// in `report.broadcast_drops[round - 1]`.
     fn broadcast(&mut self, round: usize, global: &[f64]) -> (Vec<usize>, u64) {
-        let frame = Message::GlobalModel {
-            round: round as u32,
-            params: global.to_vec(),
-        }
-        .encode();
+        // One encode per round, into a pooled buffer; every link gets a
+        // refcounted clone of the same frozen frame, so fan-out to N
+        // nodes costs zero further allocations or copies.
+        let mut buf = self.pool.acquire(encoded_frame_len(global.len()));
+        encode_global_into(round as u32, global, &mut buf);
+        let frame = buf.freeze();
         let mut delivered = Vec::with_capacity(self.n);
         let mut bytes = 0u64;
         let mut drops = 0u64;
@@ -442,6 +455,9 @@ impl Platform<'_> {
                 drops += 1;
             }
         }
+        // Reclaimed only when every consumer has already dropped its
+        // clone; otherwise the last dropper's recycle wins.
+        self.pool.recycle(frame);
         self.report.undelivered += drops;
         debug_assert_eq!(self.report.broadcast_drops.len(), round - 1);
         self.report.broadcast_drops.push(drops);
@@ -460,25 +476,27 @@ impl Platform<'_> {
                 break;
             };
             bytes += frame.len() as u64;
-            match Message::decode(&frame) {
-                Ok(Message::ModelUpdate {
-                    round: r,
-                    node,
-                    params,
-                }) => {
-                    let node = node as usize;
-                    if r as usize == round && expected.contains(&node) && !got.contains_key(&node)
+            match MessageView::parse(&frame) {
+                Ok(view) if view.is_update() => {
+                    let node = view.node() as usize;
+                    if view.round() as usize == round
+                        && expected.contains(&node)
+                        && !got.contains_key(&node)
                     {
-                        got.insert(node, params);
+                        // The only materialization on the receive path:
+                        // the update must outlive the frame it rode in.
+                        got.insert(node, view.params_to_vec());
                     } else {
                         // A frame for an already-closed round (or a
                         // duplicate): its round has moved on without it.
                         self.report.undelivered += 1;
                     }
                 }
-                Ok(Message::GlobalModel { .. }) => self.report.undelivered += 1,
+                Ok(_) => self.report.undelivered += 1,
                 Err(_) => self.report.decode_errors += 1,
             }
+            // The frame is spent; its storage serves a future encode.
+            self.pool.recycle(frame);
         }
         (got, bytes)
     }

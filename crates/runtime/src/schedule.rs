@@ -1,0 +1,110 @@
+//! Deterministic cost-balanced assignment of node actors to workers.
+//!
+//! The runtime used to split the fleet into contiguous index chunks,
+//! which balances *counts*, not *work*: federated data is size-skewed
+//! (the paper's setting), so one worker could own all the heavy nodes
+//! and pace every barrier round. [`balanced_chunks`] instead runs the
+//! classic LPT (longest-processing-time-first) greedy — nodes in
+//! descending cost order, each to the currently least-loaded worker —
+//! which is within 4/3 of the optimal makespan.
+//!
+//! Determinism matters more than optimality here: ties are broken by
+//! node index and worker index, so the assignment is a pure function of
+//! `(costs, workers)`. The training *results* never depend on the
+//! assignment at all — each node's update is a function of the
+//! broadcast alone, and the platform aggregates by node id — so load
+//! balancing changes wall-clock time and nothing else.
+
+/// Partitions node indices `0..costs.len()` into at most `workers`
+/// groups with near-equal total cost (LPT greedy). Each group is sorted
+/// ascending so a worker services its nodes in index order, and empty
+/// groups are dropped. Non-finite or negative costs are treated as 0.
+///
+/// # Panics
+///
+/// Panics when `workers` is 0.
+pub(crate) fn balanced_chunks(costs: &[f64], workers: usize) -> Vec<Vec<usize>> {
+    assert!(workers > 0, "balanced_chunks: need at least one worker");
+    let workers = workers.min(costs.len()).max(1);
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    let sane = |c: f64| if c.is_finite() && c > 0.0 { c } else { 0.0 };
+    order.sort_by(|&a, &b| {
+        sane(costs[b])
+            .total_cmp(&sane(costs[a]))
+            .then(a.cmp(&b))
+    });
+    let mut loads = vec![0.0f64; workers];
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    for node in order {
+        let lightest = loads
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(w, _)| w)
+            .expect("at least one worker");
+        loads[lightest] += sane(costs[node]);
+        groups[lightest].push(node);
+    }
+    for group in &mut groups {
+        group.sort_unstable();
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_node_exactly_once() {
+        let costs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let groups = balanced_chunks(&costs, 3);
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..costs.len()).collect::<Vec<_>>());
+        assert_eq!(groups.len(), 3);
+    }
+
+    #[test]
+    fn skewed_costs_spread_across_workers() {
+        // One giant node plus seven tiny ones: contiguous chunking at 2
+        // workers puts the giant with three tinies (load 103 vs 4); LPT
+        // isolates it.
+        let costs = [100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let groups = balanced_chunks(&costs, 2);
+        let load = |g: &Vec<usize>| g.iter().map(|&i| costs[i]).sum::<f64>();
+        let max = groups.iter().map(load).fold(0.0f64, f64::max);
+        assert_eq!(max, 100.0, "the giant node is alone on its worker");
+    }
+
+    #[test]
+    fn deterministic_and_index_ordered() {
+        let costs = [2.0, 2.0, 2.0, 2.0, 2.0];
+        let a = balanced_chunks(&costs, 2);
+        let b = balanced_chunks(&costs, 2);
+        assert_eq!(a, b);
+        for g in &a {
+            assert!(g.windows(2).all(|w| w[0] < w[1]), "groups index-sorted");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_nodes_collapses() {
+        let groups = balanced_chunks(&[1.0, 1.0], 8);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn degenerate_costs_are_tolerated() {
+        let groups = balanced_chunks(&[f64::NAN, -1.0, f64::INFINITY, 1.0], 2);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn single_worker_gets_everything_in_order() {
+        let groups = balanced_chunks(&[5.0, 1.0, 3.0], 1);
+        assert_eq!(groups, vec![vec![0, 1, 2]]);
+    }
+}

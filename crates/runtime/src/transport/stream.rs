@@ -16,7 +16,8 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use fml_sim::framing::{prefix_frame, FrameBuffer};
+use fml_sim::framing::{prefix_frame_into, FrameBuffer};
+use fml_sim::FramePool;
 
 use super::{io_error, Transport, TransportError};
 
@@ -97,6 +98,12 @@ pub struct StreamTransport<S: FramedStream> {
     stream: S,
     buf: FrameBuffer,
     scratch: Vec<u8>,
+    /// Reused `[prefix][frame]` staging buffer: steady-state sends
+    /// never allocate.
+    write_scratch: Vec<u8>,
+    /// Received frames borrow their storage from here and are recycled
+    /// by their consumers.
+    pool: FramePool,
     write_timeout: Duration,
     closed: bool,
 }
@@ -122,6 +129,8 @@ impl<S: FramedStream> StreamTransport<S> {
             stream,
             buf: FrameBuffer::new(),
             scratch: vec![0u8; SCRATCH_LEN],
+            write_scratch: Vec::new(),
+            pool: FramePool::global().handle(),
             write_timeout: DEFAULT_WRITE_TIMEOUT,
             closed: false,
         }
@@ -149,8 +158,10 @@ impl<S: FramedStream + 'static> Transport for StreamTransport<S> {
         self.stream
             .write_timeout_set(self.write_timeout)
             .map_err(|e| io_error(&e))?;
-        let wire = prefix_frame(frame);
-        self.stream.write_all(&wire).map_err(|e| io_error(&e))?;
+        prefix_frame_into(frame, &mut self.write_scratch);
+        self.stream
+            .write_all(&self.write_scratch)
+            .map_err(|e| io_error(&e))?;
         self.stream.flush().map_err(|e| io_error(&e))?;
         Ok(())
     }
@@ -161,7 +172,7 @@ impl<S: FramedStream + 'static> Transport for StreamTransport<S> {
         }
         let deadline = Instant::now() + timeout;
         loop {
-            match self.buf.next_frame() {
+            match self.buf.next_frame_pooled(&self.pool) {
                 Ok(Some(frame)) => return Ok(frame),
                 Ok(None) => {}
                 Err(e) => return Err(TransportError::Corrupt(e.to_string())),
@@ -194,6 +205,8 @@ impl<S: FramedStream + 'static> Transport for StreamTransport<S> {
             stream,
             buf: FrameBuffer::new(),
             scratch: vec![0u8; SCRATCH_LEN],
+            write_scratch: Vec::new(),
+            pool: self.pool.handle(),
             write_timeout: self.write_timeout,
             closed: self.closed,
         }))
@@ -425,6 +438,7 @@ impl super::TransportListener for UnixTransportListener {
 mod tests {
     use super::super::TransportListener;
     use super::*;
+    use fml_sim::framing::prefix_frame;
 
     fn frame(tag: u8) -> Bytes {
         Bytes::copy_from_slice(&[tag; 24])

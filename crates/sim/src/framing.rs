@@ -18,7 +18,9 @@
 //! rather than an allocation — a peer lying about its payload size must
 //! never make the receiver reserve memory it hasn't already seen.
 
-use bytes::Bytes;
+use bytes::{BufMut, Bytes};
+
+use crate::pool::FramePool;
 
 /// Bytes of the length prefix in front of every frame on a stream.
 pub const LENGTH_PREFIX_LEN: usize = 4;
@@ -60,15 +62,33 @@ impl std::error::Error for FrameError {}
 /// a runtime condition (the largest legal [`Message`](crate::Message)
 /// payload is bounded by the model size).
 pub fn prefix_frame(frame: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(LENGTH_PREFIX_LEN + frame.len());
+    prefix_frame_into(frame, &mut out);
+    out
+}
+
+/// Writes the length prefix plus the frame into `out`, reusing its
+/// capacity (the buffer is cleared first). This is the pooled-path
+/// variant of [`prefix_frame`]: a stream writer keeps one scratch
+/// buffer per connection and pays zero allocations per send at steady
+/// state. Both functions share the [`MAX_FRAME_LEN`] guard with the
+/// receive side's oversized-prefix poisoning check, so nothing a
+/// healthy encoder emits can ever poison a peer.
+///
+/// # Panics
+///
+/// Panics when `frame` exceeds [`MAX_FRAME_LEN`] — an encoder bug, not
+/// a runtime condition.
+pub fn prefix_frame_into(frame: &[u8], out: &mut Vec<u8>) {
     assert!(
         frame.len() <= MAX_FRAME_LEN,
         "frame of {} bytes exceeds MAX_FRAME_LEN",
         frame.len()
     );
-    let mut out = Vec::with_capacity(LENGTH_PREFIX_LEN + frame.len());
+    out.clear();
+    out.reserve(LENGTH_PREFIX_LEN + frame.len());
     out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
     out.extend_from_slice(frame);
-    out
 }
 
 /// Incremental length-prefixed frame extractor.
@@ -116,6 +136,24 @@ impl FrameBuffer {
     /// that point on: the same error is returned on every later call,
     /// because a desynchronized stream has no frame boundaries left.
     pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        self.pop_frame(None)
+    }
+
+    /// Like [`next_frame`](FrameBuffer::next_frame), but the returned
+    /// frame's storage is acquired from `pool` instead of allocated —
+    /// the receive-side half of the zero-allocation steady state.
+    /// Consumers hand the frame back via [`FramePool::recycle`] once
+    /// they are done with it.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`next_frame`](FrameBuffer::next_frame), including
+    /// the poisoning behaviour.
+    pub fn next_frame_pooled(&mut self, pool: &FramePool) -> Result<Option<Bytes>, FrameError> {
+        self.pop_frame(Some(pool))
+    }
+
+    fn pop_frame(&mut self, pool: Option<&FramePool>) -> Result<Option<Bytes>, FrameError> {
         let avail = &self.buf[self.start..];
         if avail.len() < LENGTH_PREFIX_LEN {
             return Ok(None);
@@ -131,7 +169,15 @@ impl FrameBuffer {
         if avail.len() < LENGTH_PREFIX_LEN + len {
             return Ok(None);
         }
-        let frame = Bytes::copy_from_slice(&avail[LENGTH_PREFIX_LEN..LENGTH_PREFIX_LEN + len]);
+        let payload = &avail[LENGTH_PREFIX_LEN..LENGTH_PREFIX_LEN + len];
+        let frame = match pool {
+            Some(pool) => {
+                let mut buf = pool.acquire(len);
+                buf.put_slice(payload);
+                buf.freeze()
+            }
+            None => Bytes::copy_from_slice(payload),
+        };
         self.start += LENGTH_PREFIX_LEN + len;
         self.compact();
         Ok(Some(frame))
@@ -238,6 +284,34 @@ mod tests {
     #[should_panic(expected = "MAX_FRAME_LEN")]
     fn prefixing_an_oversized_frame_panics() {
         let _ = prefix_frame(&vec![0u8; MAX_FRAME_LEN + 1]);
+    }
+
+    #[test]
+    fn prefix_frame_into_reuses_scratch() {
+        let frame = sample(4);
+        let mut scratch = Vec::with_capacity(LENGTH_PREFIX_LEN + frame.len());
+        let ptr = scratch.as_ptr();
+        for _ in 0..8 {
+            prefix_frame_into(&frame, &mut scratch);
+            assert_eq!(scratch, prefix_frame(&frame));
+            assert!(std::ptr::eq(ptr, scratch.as_ptr()), "no reallocation");
+        }
+    }
+
+    #[test]
+    fn pooled_frames_recycle_storage() {
+        let frame = sample(5);
+        let pool = FramePool::new();
+        let mut fb = FrameBuffer::new();
+        for _ in 0..16 {
+            fb.extend(&prefix_frame(&frame));
+            let got = fb.next_frame_pooled(&pool).unwrap().unwrap();
+            assert_eq!(got, frame);
+            pool.recycle(got);
+        }
+        let s = pool.stats();
+        assert_eq!(s.misses, 1, "one allocation, then steady-state reuse");
+        assert_eq!(s.hits, 15);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`framing`] — the stream layer below it: a `u32` length prefix per
 //!   frame plus [`FrameBuffer`], the partial-read-hardened incremental
 //!   decoder real sockets need;
+//! * [`pool`] — pooled frame buffers so steady-state encode/receive
+//!   paths recycle storage instead of allocating per hop;
 //! * [`network`] — per-link bandwidth/latency/loss models with
 //!   retransmission accounting;
 //! * [`stats`] — communication and computation meters;
@@ -28,6 +30,7 @@ pub mod energy;
 pub mod framing;
 pub mod message;
 pub mod network;
+pub mod pool;
 pub mod runner;
 pub mod stats;
 pub mod trace;
@@ -35,7 +38,8 @@ pub mod trace;
 pub use adaptive::{run_adaptive_fedml, AdaptiveOutput, AdaptiveT0Config};
 pub use energy::{EnergyModel, EnergyStats};
 pub use framing::{prefix_frame, FrameBuffer, FrameError, LENGTH_PREFIX_LEN, MAX_FRAME_LEN};
-pub use message::{Message, PROTOCOL_VERSION};
+pub use message::{Message, MessageView, PROTOCOL_VERSION};
+pub use pool::{FramePool, PoolStats};
 pub use network::{LinkModel, Network, IDEAL_BANDWIDTH_BPS};
 pub use runner::{EdgeProfile, SimConfig, SimOutput, SimRunner, DERIVED_DEADLINE_HEADROOM};
 pub use stats::{CommStats, ComputeStats};

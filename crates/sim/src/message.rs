@@ -121,11 +121,31 @@ impl Message {
     }
 
     /// Encodes into a binary frame at the current [`PROTOCOL_VERSION`].
+    ///
+    /// Thin wrapper over [`encode_into`](Message::encode_into) that
+    /// allocates a fresh buffer; hot paths reuse a pooled buffer
+    /// instead.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
-        buf.put_u8(VERSION_MARKER | PROTOCOL_VERSION);
-        self.encode_body(&mut buf);
+        self.encode_into(&mut buf);
         buf.freeze()
+    }
+
+    /// Appends the versioned frame to `buf` without allocating beyond
+    /// what `buf` already holds (callers reserve via
+    /// [`encoded_len`](Message::encoded_len), or hand in a pooled
+    /// buffer whose capacity survived earlier rounds).
+    ///
+    /// Produces bytes identical to [`encode`](Message::encode).
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            Message::GlobalModel { round, params } => encode_global_into(*round, params, buf),
+            Message::ModelUpdate {
+                round,
+                node,
+                params,
+            } => encode_update_into(*round, *node, params, buf),
+        }
     }
 
     /// Encodes into a legacy v0 frame (no version byte). Kept so
@@ -166,11 +186,80 @@ impl Message {
 
     /// Decodes a binary frame (versioned or legacy v0).
     ///
+    /// Thin wrapper over [`MessageView::parse`] that materializes the
+    /// payload into an owned `Vec<f64>`; hot paths parse the view and
+    /// read the floats in place.
+    ///
     /// # Errors
     ///
     /// Returns a [`DecodeError`] for truncated frames, unknown tags,
     /// unsupported versions, or length mismatches.
-    pub fn decode(mut frame: &[u8]) -> Result<Self, DecodeError> {
+    pub fn decode(frame: &[u8]) -> Result<Self, DecodeError> {
+        Ok(MessageView::parse(frame)?.to_message())
+    }
+}
+
+/// Serialized size in bytes of a versioned frame carrying `param_count`
+/// parameters — what [`Message::encoded_len`] returns, computable
+/// without building the message.
+pub const fn encoded_frame_len(param_count: usize) -> usize {
+    1 + HEADER_LEN + 8 * param_count
+}
+
+/// Appends a versioned [`Message::GlobalModel`] frame to `buf` without
+/// requiring an owned `Vec<f64>` — byte-identical to
+/// `Message::GlobalModel { round, params: params.to_vec() }.encode()`.
+pub fn encode_global_into(round: u32, params: &[f64], buf: &mut BytesMut) {
+    buf.reserve(1 + HEADER_LEN + 8 * params.len());
+    buf.put_u8(VERSION_MARKER | PROTOCOL_VERSION);
+    buf.put_u8(TAG_GLOBAL);
+    buf.put_u32_le(round);
+    buf.put_u32_le(0);
+    buf.put_u32_le(params.len() as u32);
+    for &p in params {
+        buf.put_f64_le(p);
+    }
+}
+
+/// Appends a versioned [`Message::ModelUpdate`] frame to `buf` without
+/// requiring an owned `Vec<f64>` — byte-identical to
+/// `Message::ModelUpdate { round, node, params: params.to_vec() }.encode()`.
+pub fn encode_update_into(round: u32, node: u32, params: &[f64], buf: &mut BytesMut) {
+    buf.reserve(1 + HEADER_LEN + 8 * params.len());
+    buf.put_u8(VERSION_MARKER | PROTOCOL_VERSION);
+    buf.put_u8(TAG_UPDATE);
+    buf.put_u32_le(round);
+    buf.put_u32_le(node);
+    buf.put_u32_le(params.len() as u32);
+    for &p in params {
+        buf.put_f64_le(p);
+    }
+}
+
+/// A decoded frame that *borrows* its payload: the header fields are
+/// parsed eagerly (and validated exactly like [`Message::decode`]), but
+/// the `f64` parameters stay in the frame's byte buffer and are read
+/// lazily via [`params_iter`](MessageView::params_iter). Decoding a
+/// frame this way performs zero heap allocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageView<'a> {
+    tag: u8,
+    round: u32,
+    node: u32,
+    /// Raw little-endian payload, exactly `8 * len` bytes.
+    payload: &'a [u8],
+}
+
+impl<'a> MessageView<'a> {
+    /// Parses a binary frame (versioned or legacy v0) without copying
+    /// the payload.
+    ///
+    /// # Errors
+    ///
+    /// The same taxonomy as [`Message::decode`]: [`DecodeError`] for
+    /// truncated frames, unknown tags, unsupported versions, or length
+    /// mismatches.
+    pub fn parse(mut frame: &'a [u8]) -> Result<Self, DecodeError> {
         // A version byte has its high bit set; tags never do. An absent
         // version byte therefore unambiguously means a legacy v0 frame.
         if let Some(&first) = frame.first() {
@@ -208,20 +297,80 @@ impl Message {
                 })
             }
         }
-        // `len` is now bounded by the actual buffer length, so this
-        // allocation cannot exceed the frame's own size.
-        let mut params = Vec::with_capacity(len);
-        for _ in 0..len {
-            params.push(frame.get_f64_le());
-        }
-        match tag {
-            TAG_GLOBAL => Ok(Message::GlobalModel { round, params }),
-            TAG_UPDATE => Ok(Message::ModelUpdate {
-                round,
-                node,
+        Ok(MessageView {
+            tag,
+            round,
+            node,
+            payload: frame,
+        })
+    }
+
+    /// Whether this is a platform → node [`Message::GlobalModel`] frame.
+    pub fn is_global(&self) -> bool {
+        self.tag == TAG_GLOBAL
+    }
+
+    /// Whether this is a node → platform [`Message::ModelUpdate`] frame.
+    pub fn is_update(&self) -> bool {
+        self.tag == TAG_UPDATE
+    }
+
+    /// The round this frame belongs to.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// The reporting node id (0 for [`Message::GlobalModel`] frames,
+    /// whose wire slot is reserved).
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Number of `f64` parameters in the payload.
+    pub fn len(&self) -> usize {
+        self.payload.len() / 8
+    }
+
+    /// Whether the payload carries no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Lazily decodes the parameters in wire order, straight out of the
+    /// frame buffer — no allocation.
+    pub fn params_iter(&self) -> impl ExactSizeIterator<Item = f64> + 'a {
+        self.payload
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")))
+    }
+
+    /// Materializes the parameters into a fresh vector.
+    pub fn params_to_vec(&self) -> Vec<f64> {
+        self.params_iter().collect()
+    }
+
+    /// Overwrites `out` with the parameters, reusing its capacity — the
+    /// zero-allocation way to keep an owned copy across rounds.
+    pub fn copy_params_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.len());
+        out.extend(self.params_iter());
+    }
+
+    /// Materializes the whole frame as an owned [`Message`].
+    pub fn to_message(&self) -> Message {
+        let params = self.params_to_vec();
+        match self.tag {
+            TAG_GLOBAL => Message::GlobalModel {
+                round: self.round,
                 params,
-            }),
-            t => unreachable!("tag {t} validated above"),
+            },
+            TAG_UPDATE => Message::ModelUpdate {
+                round: self.round,
+                node: self.node,
+                params,
+            },
+            t => unreachable!("tag {t} validated by parse"),
         }
     }
 }
@@ -355,6 +504,55 @@ mod tests {
     }
 
     #[test]
+    fn view_accessors_match_wire_fields() {
+        let m = Message::ModelUpdate {
+            round: 11,
+            node: 4,
+            params: vec![0.5, -0.5],
+        };
+        let frame = m.encode();
+        let view = MessageView::parse(&frame).unwrap();
+        assert!(view.is_update());
+        assert!(!view.is_global());
+        assert_eq!(view.round(), 11);
+        assert_eq!(view.node(), 4);
+        assert_eq!(view.len(), 2);
+        assert!(!view.is_empty());
+        assert_eq!(view.params_to_vec(), vec![0.5, -0.5]);
+        assert_eq!(view.to_message(), m);
+    }
+
+    #[test]
+    fn view_rejects_what_decode_rejects() {
+        for frame in [
+            &[1u8, 2, 3][..],
+            &[0x81],
+            &[0x80 | (PROTOCOL_VERSION + 1), 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+        ] {
+            assert_eq!(
+                MessageView::parse(frame).err(),
+                Message::decode(frame).err(),
+                "view and decode must share an error taxonomy"
+            );
+        }
+    }
+
+    #[test]
+    fn copy_params_into_reuses_capacity() {
+        let m = Message::GlobalModel {
+            round: 1,
+            params: vec![1.0, 2.0, 3.0],
+        };
+        let frame = m.encode();
+        let view = MessageView::parse(&frame).unwrap();
+        let mut scratch = Vec::with_capacity(16);
+        let ptr = scratch.as_ptr();
+        view.copy_params_into(&mut scratch);
+        assert_eq!(scratch, vec![1.0, 2.0, 3.0]);
+        assert!(std::ptr::eq(ptr, scratch.as_ptr()), "no reallocation");
+    }
+
+    #[test]
     fn decode_error_display() {
         assert!(DecodeError::Truncated.to_string().contains("header"));
         assert!(DecodeError::UnknownTag(7).to_string().contains('7'));
@@ -454,6 +652,61 @@ mod tests {
             prop_assert_eq!(Message::decode(&m.encode_v0()).unwrap(), m.clone());
             let g = Message::GlobalModel { round, params: m.params().to_vec() };
             prop_assert_eq!(Message::decode(&g.encode_v0()).unwrap(), g);
+        }
+
+        #[test]
+        fn prop_encode_into_matches_encode(
+            round in 0u32..u32::MAX,
+            node in 0u32..u32::MAX,
+            params in proptest::collection::vec(-1e12f64..1e12, 0..64),
+        ) {
+            // The pooled path must produce bitwise-identical frames to
+            // the owned path, for both message kinds, including when the
+            // target buffer carries stale capacity from a previous round.
+            let up = Message::ModelUpdate { round, node, params: params.clone() };
+            let mut buf = BytesMut::with_capacity(512);
+            up.encode_into(&mut buf);
+            prop_assert_eq!(buf.freeze(), up.encode());
+
+            let mut direct = BytesMut::new();
+            encode_update_into(round, node, &params, &mut direct);
+            prop_assert_eq!(direct.freeze(), up.encode());
+
+            let glob = Message::GlobalModel { round, params: params.clone() };
+            let mut gbuf = BytesMut::new();
+            encode_global_into(round, &params, &mut gbuf);
+            prop_assert_eq!(gbuf.freeze(), glob.encode());
+        }
+
+        #[test]
+        fn prop_view_agrees_with_decode(
+            round in 0u32..u32::MAX,
+            node in 0u32..u32::MAX,
+            params in proptest::collection::vec(-1e12f64..1e12, 0..64),
+        ) {
+            // The borrowed view must agree with the owned decoder on
+            // both wire generations (v1 and legacy v0 frames).
+            let m = Message::ModelUpdate { round, node, params };
+            for frame in [m.encode(), m.encode_v0()] {
+                let view = MessageView::parse(&frame).unwrap();
+                prop_assert_eq!(view.to_message(), Message::decode(&frame).unwrap());
+                prop_assert_eq!(view.round(), m.round());
+                prop_assert_eq!(view.params_to_vec(), m.params().to_vec());
+                let lazy: Vec<f64> = view.params_iter().collect();
+                prop_assert_eq!(lazy, m.params().to_vec());
+            }
+        }
+
+        #[test]
+        fn prop_view_never_panics_on_random_bytes(
+            frame in proptest::collection::vec(0u8..=255, 0..256),
+        ) {
+            // The view is the new first line of defense on the receive
+            // path: adversarial input must parse or error, never panic.
+            prop_assert_eq!(
+                MessageView::parse(&frame).map(|v| v.to_message()),
+                Message::decode(&frame)
+            );
         }
 
         #[test]

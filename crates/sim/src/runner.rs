@@ -25,8 +25,9 @@ use fml_models::Model;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::message::Message;
+use crate::message::{encode_global_into, encode_update_into, encoded_frame_len, MessageView};
 use crate::network::Network;
+use crate::pool::FramePool;
 use crate::stats::{CommStats, ComputeStats};
 use crate::trace::{RoundTrace, TraceLog};
 
@@ -409,11 +410,7 @@ impl SimRunner {
 
         // Frame size is fixed by the model dimension, so the derived
         // deadline is one number for the whole run.
-        let frame_len = Message::GlobalModel {
-            round: 1,
-            params: theta0.to_vec(),
-        }
-        .encoded_len();
+        let frame_len = encoded_frame_len(theta0.len());
         let mut policy = ft.policy;
         if policy.deadline_s.is_none() {
             policy.deadline_s = self.derived_deadline(t0, frame_len);
@@ -426,6 +423,10 @@ impl SimRunner {
         let mut history = Vec::with_capacity(rounds);
         let mut trace = TraceLog::new();
         let mut last_good: Vec<Option<Vec<f64>>> = vec![None; n];
+        // Same pooled frame discipline as the fault-free loop.
+        let pool = FramePool::new();
+        let mut start_params: Vec<f64> = Vec::with_capacity(global.len());
+        let mut frames: Vec<bytes::Bytes> = Vec::with_capacity(n);
 
         for round in 1..=rounds {
             let bytes_before = comm.bytes_up + comm.bytes_down;
@@ -442,11 +443,9 @@ impl SimRunner {
             participants_per_round.push(participants.len());
 
             // --- downlink broadcast to the live fleet ---
-            let broadcast = Message::GlobalModel {
-                round: round as u32,
-                params: global.clone(),
-            };
-            let frame = broadcast.encode();
+            let mut broadcast_buf = pool.acquire(encoded_frame_len(global.len()));
+            encode_global_into(round as u32, &global, &mut broadcast_buf);
+            let frame = broadcast_buf.freeze();
             let mut down_time = 0.0f64;
             let mut node_delay = vec![0.0f64; participants.len()];
             for delay in &mut node_delay {
@@ -460,8 +459,9 @@ impl SimRunner {
             }
 
             // --- parallel local updates on surviving nodes ---
-            let decoded = Message::decode(&frame).expect("self-encoded frame");
-            let start_params = decoded.params().to_vec();
+            MessageView::parse(&frame)
+                .expect("self-encoded frame")
+                .copy_params_into(&mut start_params);
             let mut updated =
                 parallel_local_updates(cfg.threads, &participants, tasks, &start_params, t0, local);
 
@@ -487,14 +487,10 @@ impl SimRunner {
 
             // --- uplink: every live node uploads, garbage included ---
             let mut up_time = 0.0f64;
-            let mut frames = Vec::with_capacity(participants.len());
             for (slot, &i) in participants.iter().enumerate() {
-                let msg = Message::ModelUpdate {
-                    round: round as u32,
-                    node: tasks[i].id as u32,
-                    params: updated[slot].clone(),
-                };
-                let f = msg.encode();
+                let mut buf = pool.acquire(encoded_frame_len(updated[slot].len()));
+                encode_update_into(round as u32, tasks[i].id as u32, &updated[slot], &mut buf);
+                let f = buf.freeze();
                 let t = cfg.network.send_up(f.len(), rng);
                 comm.bytes_up += f.len() as u64;
                 comm.wire_bytes += t.wire_bytes as u64;
@@ -514,8 +510,10 @@ impl SimRunner {
                 let mut sub = if matches!(fault, Some(Fault::Crash)) {
                     Submission::crashed(i, weight)
                 } else {
-                    let msg = Message::decode(&frames[slot]).expect("self-encoded frame");
-                    let mut s = Submission::on_time(i, weight, msg.params().to_vec());
+                    // One materialization (the Submission owns its
+                    // params), not decode + to_vec's two.
+                    let view = MessageView::parse(&frames[slot]).expect("self-encoded frame");
+                    let mut s = Submission::on_time(i, weight, view.params_to_vec());
                     s.delay_s = node_delay[slot];
                     slot += 1;
                     s
@@ -538,6 +536,12 @@ impl SimRunner {
                 // forward unchanged, and flag the round.
                 Err(failure) => (failure.report.reporters, true),
             };
+
+            // Frames are dead: hand their storage back for next round.
+            pool.recycle(frame);
+            for f in frames.drain(..) {
+                pool.recycle(f);
+            }
 
             let meta_loss = fml_core::weighted_meta_loss(model, tasks, &global, eval_alpha);
             history.push((round, meta_loss));
@@ -599,6 +603,12 @@ impl SimRunner {
         let mut participants_per_round = Vec::with_capacity(rounds);
         let mut history = Vec::with_capacity(rounds);
         let mut trace = TraceLog::new();
+        // Frame storage is recycled across rounds: after warm-up the
+        // encode/decode loop below touches the allocator only for the
+        // aggregation output.
+        let pool = FramePool::new();
+        let mut start_params: Vec<f64> = Vec::with_capacity(global.len());
+        let mut frames: Vec<bytes::Bytes> = Vec::with_capacity(n);
 
         for round in 1..=rounds {
             let bytes_before = comm.bytes_up + comm.bytes_down;
@@ -642,13 +652,12 @@ impl SimRunner {
             }
             participants_per_round.push(participants.len());
 
-            // --- downlink broadcast (platform serializes once; each node
-            // is charged its own transfer; round latency = slowest) ---
-            let broadcast = Message::GlobalModel {
-                round: round as u32,
-                params: global.clone(),
-            };
-            let frame = broadcast.encode();
+            // --- downlink broadcast (platform serializes once, into a
+            // pooled buffer; each node is charged its own transfer;
+            // round latency = slowest) ---
+            let mut broadcast_buf = pool.acquire(encoded_frame_len(global.len()));
+            encode_global_into(round as u32, &global, &mut broadcast_buf);
+            let frame = broadcast_buf.freeze();
             let mut down_time = 0.0f64;
             for _ in &participants {
                 let t = cfg.network.send_down(frame.len(), rng);
@@ -660,8 +669,12 @@ impl SimRunner {
             }
 
             // --- parallel local updates ---
-            let decoded = Message::decode(&frame).expect("self-encoded frame");
-            let start_params = decoded.params().to_vec();
+            // The wire round-trip is kept (nodes see decoded bytes, not
+            // the platform's floats), but through the borrowed view into
+            // a reused scratch vector instead of two fresh allocations.
+            MessageView::parse(&frame)
+                .expect("self-encoded frame")
+                .copy_params_into(&mut start_params);
             let updated =
                 parallel_local_updates(cfg.threads, &participants, tasks, &start_params, t0, local);
 
@@ -676,16 +689,13 @@ impl SimRunner {
             }
             compute.time_s += round_compute;
 
-            // --- uplink: each participant serializes and uploads ---
+            // --- uplink: each participant serializes (into pooled
+            // buffers, no params clone) and uploads ---
             let mut up_time = 0.0f64;
-            let mut frames = Vec::with_capacity(participants.len());
             for (slot, &i) in participants.iter().enumerate() {
-                let msg = Message::ModelUpdate {
-                    round: round as u32,
-                    node: tasks[i].id as u32,
-                    params: updated[slot].clone(),
-                };
-                let f = msg.encode();
+                let mut buf = pool.acquire(encoded_frame_len(updated[slot].len()));
+                encode_update_into(round as u32, tasks[i].id as u32, &updated[slot], &mut buf);
+                let f = buf.freeze();
                 let t = cfg.network.send_up(f.len(), rng);
                 comm.bytes_up += f.len() as u64;
                 comm.wire_bytes += t.wire_bytes as u64;
@@ -697,16 +707,28 @@ impl SimRunner {
             comm.time_s += down_time + up_time;
 
             // --- platform decodes and aggregates (renormalized weights) ---
+            // Reading the floats straight out of the frame is bitwise
+            // the same accumulation as decode + axpy: identical values,
+            // identical order.
             let mut weight_sum = 0.0;
             let mut agg = vec![0.0; global.len()];
             for (f, &i) in frames.iter().zip(&participants) {
-                let msg = Message::decode(f).expect("self-encoded frame");
+                let view = MessageView::parse(f).expect("self-encoded frame");
+                debug_assert_eq!(view.len(), agg.len(), "update dimension mismatch");
                 let w = tasks[i].weight;
-                fml_linalg::vector::axpy(w, msg.params(), &mut agg);
+                for (g, u) in agg.iter_mut().zip(view.params_iter()) {
+                    *g += w * u;
+                }
                 weight_sum += w;
             }
             fml_linalg::vector::scale_in_place(1.0 / weight_sum, &mut agg);
             global = agg;
+
+            // Frames are dead: hand their storage back for next round.
+            pool.recycle(frame);
+            for f in frames.drain(..) {
+                pool.recycle(f);
+            }
 
             let meta_loss = fml_core::weighted_meta_loss(model, tasks, &global, eval_alpha);
             history.push((round, meta_loss));
@@ -752,6 +774,7 @@ fn parallel_local_updates(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::Message;
     use fml_core::{FedAvgConfig, FedMlConfig};
     use fml_data::NodeData;
     use fml_linalg::Matrix;

@@ -11,4 +11,5 @@ cargo test --workspace -q
 "$(dirname "$0")/fault_smoke.sh"
 "$(dirname "$0")/runtime_smoke.sh"
 "$(dirname "$0")/transport_smoke.sh"
+"$(dirname "$0")/scale_smoke.sh"
 echo "check: OK"

@@ -1,18 +1,26 @@
 //! Workspace-local stand-in for the `bytes` crate.
 //!
 //! Implements the subset the wire codec in `fml-sim` uses: [`Bytes`],
-//! [`BytesMut`], little-endian put/get via [`Buf`]/[`BufMut`]. Backed by
-//! plain `Vec<u8>` — the zero-copy refcounting of upstream `bytes` is
-//! not needed for the simulator's accounting.
+//! [`BytesMut`], little-endian put/get via [`Buf`]/[`BufMut`].
+//!
+//! [`Bytes`] is refcounted (`Arc<Vec<u8>>`), matching upstream's key
+//! property: `clone()` is a pointer bump, not a copy, so broadcasting
+//! one encoded frame to N links costs one allocation total. A uniquely
+//! held buffer can be reclaimed with [`Bytes::try_into_mut`], which is
+//! what lets a frame pool recycle storage instead of allocating per
+//! frame.
 
 #![forbid(unsafe_code)]
 
 use std::ops::Deref;
+use std::sync::Arc;
 
-/// An immutable byte buffer.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// An immutable, cheaply cloneable byte buffer.
+///
+/// Cloning bumps a refcount; all clones view the same heap allocation.
+#[derive(Debug, Clone, Default)]
 pub struct Bytes {
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Bytes {
@@ -24,10 +32,41 @@ impl Bytes {
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes {
-            data: data.to_vec(),
+            data: Arc::new(data.to_vec()),
+        }
+    }
+
+    /// Number of outstanding handles on this buffer (for tests and
+    /// pool diagnostics).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+
+    /// Reclaims the underlying storage as a [`BytesMut`] when this is
+    /// the only handle; otherwise hands `self` back unchanged.
+    ///
+    /// The returned buffer keeps its contents and capacity — a frame
+    /// pool clears it on reuse, so steady-state encode paths allocate
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when other clones still share the buffer.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        match Arc::try_unwrap(self.data) {
+            Ok(data) => Ok(BytesMut { data }),
+            Err(data) => Err(Bytes { data }),
         }
     }
 }
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data.as_slice() == other.data.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
 
 impl Deref for Bytes {
     type Target = [u8];
@@ -44,13 +83,18 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Bytes { data }
+        Bytes {
+            data: Arc::new(data),
+        }
     }
 }
 
 impl From<Bytes> for Vec<u8> {
     fn from(b: Bytes) -> Self {
-        b.data
+        match Arc::try_unwrap(b.data) {
+            Ok(v) => v,
+            Err(shared) => shared.as_slice().to_vec(),
+        }
     }
 }
 
@@ -73,9 +117,26 @@ impl BytesMut {
         }
     }
 
-    /// Freezes into an immutable [`Bytes`].
+    /// Clears the contents, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Bytes the buffer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Freezes into an immutable [`Bytes`] without copying the data.
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data }
+        Bytes {
+            data: Arc::new(self.data),
+        }
     }
 }
 
@@ -184,5 +245,46 @@ mod tests {
         let b = Bytes::copy_from_slice(&[1, 2, 3]);
         assert_eq!(b.to_vec(), vec![1, 2, 3]);
         assert_eq!(&b[..2], &[1, 2]);
+    }
+
+    #[test]
+    fn clone_is_refcounted_not_copied() {
+        let b = Bytes::copy_from_slice(&[9; 64]);
+        assert_eq!(b.ref_count(), 1);
+        let c = b.clone();
+        assert_eq!(b.ref_count(), 2);
+        assert_eq!(b, c);
+        // Same allocation behind both handles.
+        assert!(std::ptr::eq(b.as_ref().as_ptr(), c.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn unique_bytes_reclaim_their_storage() {
+        let mut buf = BytesMut::with_capacity(128);
+        buf.put_slice(&[1, 2, 3]);
+        let cap = buf.capacity();
+        let frozen = buf.freeze();
+        let reclaimed = frozen.try_into_mut().expect("unique handle reclaims");
+        assert_eq!(&reclaimed[..], &[1, 2, 3]);
+        assert_eq!(reclaimed.capacity(), cap, "capacity survives the roundtrip");
+    }
+
+    #[test]
+    fn shared_bytes_refuse_reclaim() {
+        let b = Bytes::copy_from_slice(&[5, 6]);
+        let keep = b.clone();
+        let back = b.try_into_mut().expect_err("shared handle stays frozen");
+        assert_eq!(back, keep);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_slice(&[0; 40]);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 64);
+        buf.reserve(100);
+        assert!(buf.capacity() >= 100);
     }
 }
