@@ -32,9 +32,9 @@ pub use config::{
 pub use report::{EvalReport, Report, RuntimeSummary, SimReport, TrainReport};
 
 use fml_core::{
-    adapt, FedAvg, FedAvgConfig, FedMl, FedMlConfig, FedProx, FedProxConfig, LocalStepper,
-    MetaGradientMode, MetaSgd, MetaSgdConfig, Reptile, ReptileConfig, RobustFedMl,
-    RobustFedMlConfig, SourceTask, TrainOutput,
+    adapt, CorruptMode, FaultPlan, FedAvg, FedAvgConfig, FedMl, FedMlConfig, FedProx,
+    FedProxConfig, LocalStepper, MetaGradientMode, MetaSgd, MetaSgdConfig, Reptile, ReptileConfig,
+    RobustFedMl, RobustFedMlConfig, SourceTask, TrainOutput,
 };
 use fml_data::synthetic::SyntheticConfig;
 use fml_data::{
@@ -44,9 +44,9 @@ use fml_data::{
 use fml_dro::BoxConstraint;
 use fml_models::{Activation, MlpBuilder, Model, SoftmaxRegression};
 use fml_runtime::{
-    param_hash, AsyncPolicy, NodeIo, Runtime, RuntimeConfig, TcpTransport, TcpTransportListener,
-    Transport, TransportListener, UnixTransport, UnixTransportListener, CONNECT_ATTEMPTS,
-    CONNECT_BASE_DELAY,
+    param_hash, AsyncPolicy, FaultyTransport, LinkFaultPlan, NodeIo, Runtime, RuntimeConfig,
+    TcpTransport, TcpTransportListener, Transport, TransportListener, UnixTransport,
+    UnixTransportListener, CONNECT_ATTEMPTS, CONNECT_BASE_DELAY,
 };
 use fml_sim::{Network, SimConfig, SimRunner};
 use rand::rngs::StdRng;
@@ -218,6 +218,35 @@ pub struct RuntimeOptions {
     /// Run as a single node process with this node id (requires
     /// `connect`); `None` runs the platform.
     pub node: Option<usize>,
+    /// Directory the platform checkpoints into (and resumes from on
+    /// restart); `None` disables disk checkpointing.
+    pub checkpoint_dir: Option<String>,
+    /// Checkpoint cadence in rounds; `None` keeps the default (every
+    /// round once a directory is set).
+    pub checkpoint_every: Option<usize>,
+    /// Rollback-and-exclude recovery budget override.
+    pub max_recoveries: Option<usize>,
+    /// Disables checkpoint-rollback-exclude recovery entirely.
+    pub no_recovery: bool,
+    /// Scheduled node crashes `(node, from_round)` injected on the
+    /// seeded `fml_core` fault plan — identical in every process.
+    pub crash_from: Vec<(usize, usize)>,
+    /// Scheduled NaN corruptions `(node, round)` on the fault plan.
+    pub corrupt_at: Vec<(usize, usize)>,
+    /// Link fault seed override for node processes; `None` derives the
+    /// per-node seed from the run seed.
+    pub fault_seed: Option<u64>,
+    /// Probability a node's sent frame is silently dropped on the wire.
+    pub fault_drop: f64,
+    /// Probability a node's sent frame is payload-corrupted in flight.
+    pub fault_corrupt: f64,
+    /// Probability each received frame is delayed on the node's link.
+    pub fault_delay_prob: f64,
+    /// Delay in milliseconds applied when the delay draw fires.
+    pub fault_delay_ms: u64,
+    /// Scripted link disconnect after this many received frames (the
+    /// node process then exits; restart it to exercise reconnects).
+    pub fault_disconnect_after: Option<u64>,
 }
 
 impl Default for RuntimeOptions {
@@ -232,6 +261,18 @@ impl Default for RuntimeOptions {
             listen: None,
             connect: None,
             node: None,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            max_recoveries: None,
+            no_recovery: false,
+            crash_from: Vec::new(),
+            corrupt_at: Vec::new(),
+            fault_seed: None,
+            fault_drop: 0.0,
+            fault_corrupt: 0.0,
+            fault_delay_prob: 0.0,
+            fault_delay_ms: 0,
+            fault_disconnect_after: None,
         }
     }
 }
@@ -322,7 +363,10 @@ fn build_runtime_setup(cfg: &RunConfig, seed: u64) -> Result<RuntimeSetup, Strin
     })
 }
 
-/// The [`RuntimeConfig`] the options describe, at `seed`.
+/// The [`RuntimeConfig`] the options describe, at `seed`. Shared by the
+/// platform and every node process, so the seeded fault plan (and with
+/// it each node's crash/corrupt schedule) agrees across the fleet
+/// without shared memory.
 fn build_runtime_config(opts: &RuntimeOptions, seed: u64) -> RuntimeConfig {
     let mut rt_cfg = match opts.mode {
         RuntimeMode::Barrier => RuntimeConfig::barrier(seed),
@@ -337,7 +381,55 @@ fn build_runtime_config(opts: &RuntimeOptions, seed: u64) -> RuntimeConfig {
     if let Some(cap) = opts.mailbox_cap {
         rt_cfg = rt_cfg.with_mailbox_cap(cap);
     }
+    if !opts.crash_from.is_empty() || !opts.corrupt_at.is_empty() {
+        let mut plan = FaultPlan::new(seed);
+        for &(node, round) in &opts.crash_from {
+            plan = plan.with_crash_from(node, round);
+        }
+        for &(node, round) in &opts.corrupt_at {
+            plan = plan.with_corrupt(node, round, CorruptMode::NaN);
+        }
+        rt_cfg = rt_cfg.with_faults(plan);
+    }
+    if let Some(dir) = &opts.checkpoint_dir {
+        rt_cfg = rt_cfg.with_checkpoint_dir(dir);
+    }
+    if let Some(every) = opts.checkpoint_every {
+        rt_cfg = rt_cfg.with_checkpoint_every(every.max(1));
+    }
+    if let Some(n) = opts.max_recoveries {
+        rt_cfg = rt_cfg.with_max_recoveries(n);
+    }
+    if opts.no_recovery {
+        rt_cfg = rt_cfg.without_recovery();
+    }
     rt_cfg
+}
+
+/// The [`LinkFaultPlan`] a node process wraps its link in, or `None`
+/// when no wire fault was requested. Decorrelated per node so a fleet
+/// sharing one `--fault-seed` still draws independent schedules.
+fn build_link_fault_plan(opts: &RuntimeOptions, seed: u64, node: usize) -> Option<LinkFaultPlan> {
+    let base = opts.fault_seed.unwrap_or(seed);
+    let mut plan =
+        LinkFaultPlan::new(base ^ (node as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    if opts.fault_drop > 0.0 {
+        plan = plan.with_drop(opts.fault_drop);
+    }
+    if opts.fault_corrupt > 0.0 {
+        plan = plan.with_corrupt(opts.fault_corrupt);
+    }
+    if opts.fault_delay_prob > 0.0 && opts.fault_delay_ms > 0 {
+        plan = plan.with_delay(opts.fault_delay_prob, opts.fault_delay_ms);
+    }
+    if let Some(n) = opts.fault_disconnect_after {
+        plan = plan.with_disconnect_after_recvs(n);
+    }
+    if plan.is_benign() {
+        None
+    } else {
+        Some(plan)
+    }
 }
 
 /// Executes a configured experiment on the `fml-runtime` actor fleet
@@ -466,6 +558,9 @@ pub fn run_runtime_node(cfg: &RunConfig, opts: &RuntimeOptions) -> Result<NodeIo
             return Err("node mode needs a socket transport (--transport tcp|uds)".into())
         }
     };
+    if let Some(plan) = build_link_fault_plan(opts, seed, node) {
+        link = Box::new(FaultyTransport::new(link, plan));
+    }
     let rt_cfg = build_runtime_config(opts, seed);
     Ok(Runtime::new(rt_cfg).run_node(
         setup.stepper.as_ref(),

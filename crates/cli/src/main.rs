@@ -10,6 +10,12 @@
 //!       [--mailbox-cap N] [--seed N] [--json <out.json>]
 //!       [--transport channel|tcp|uds] [--listen <addr>]   platform side
 //!       [--connect <addr> --node <id>]                    node side
+//!       [--checkpoint-dir <dir>] [--checkpoint-every N]   disk checkpoints
+//!       [--max-recoveries N] [--no-recovery]              recovery budget
+//!       [--crash-from N:R] [--corrupt-at N:R]             scripted faults
+//!       [--fault-seed N] [--fault-drop P] [--fault-corrupt P]
+//!       [--fault-delay-prob P] [--fault-delay-ms MS]
+//!       [--fault-disconnect-after N]                      link fault plan
 //! ```
 //!
 //! With `--transport tcp` or `uds` the platform (`--listen`) and each
@@ -40,9 +46,17 @@ const USAGE: &str = "usage:
         [--threads N] [--mailbox-cap N] [--seed N] [--json <out.json>]
         [--transport channel|tcp|uds] [--listen <addr>]
         [--connect <addr> --node <id>]
+        [--checkpoint-dir <dir>] [--checkpoint-every N]
+        [--max-recoveries N] [--no-recovery]
+        [--crash-from node:round] [--corrupt-at node:round]
+        [--fault-seed N] [--fault-drop P] [--fault-corrupt P]
+        [--fault-delay-prob P] [--fault-delay-ms MS]
+        [--fault-disconnect-after N]
   (socket transports: run the platform with --listen, then one process
    per node with --connect and --node; addr is host:port for tcp, a
-   socket file path for uds)";
+   socket file path for uds. --crash-from/--corrupt-at are repeatable
+   and script node faults on the platform; --fault-* flags install a
+   seeded fault-injecting wrapper on a node's link.)";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -176,10 +190,86 @@ fn parse_runtime_flags(args: &[String]) -> Result<(RuntimeOptions, Option<String
                 )
             }
             "--json" => json_out = Some(value("--json")?),
+            "--checkpoint-dir" => opts.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--checkpoint-every" => {
+                let every: usize = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                if every == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+                opts.checkpoint_every = Some(every);
+            }
+            "--max-recoveries" => {
+                opts.max_recoveries = Some(
+                    value("--max-recoveries")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-recoveries: {e}"))?,
+                )
+            }
+            "--no-recovery" => opts.no_recovery = true,
+            "--crash-from" => opts
+                .crash_from
+                .push(parse_node_round("--crash-from", &value("--crash-from")?)?),
+            "--corrupt-at" => opts
+                .corrupt_at
+                .push(parse_node_round("--corrupt-at", &value("--corrupt-at")?)?),
+            "--fault-seed" => {
+                opts.fault_seed = Some(
+                    value("--fault-seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --fault-seed: {e}"))?,
+                )
+            }
+            "--fault-drop" => {
+                opts.fault_drop = parse_prob("--fault-drop", &value("--fault-drop")?)?
+            }
+            "--fault-corrupt" => {
+                opts.fault_corrupt = parse_prob("--fault-corrupt", &value("--fault-corrupt")?)?
+            }
+            "--fault-delay-prob" => {
+                opts.fault_delay_prob =
+                    parse_prob("--fault-delay-prob", &value("--fault-delay-prob")?)?
+            }
+            "--fault-delay-ms" => {
+                opts.fault_delay_ms = value("--fault-delay-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-delay-ms: {e}"))?
+            }
+            "--fault-disconnect-after" => {
+                opts.fault_disconnect_after = Some(
+                    value("--fault-disconnect-after")?
+                        .parse()
+                        .map_err(|e| format!("bad --fault-disconnect-after: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok((opts, json_out))
+}
+
+/// Parse a `node:round` pair for `--crash-from` / `--corrupt-at`.
+fn parse_node_round(flag: &str, value: &str) -> Result<(usize, usize), String> {
+    let (node, round) = value
+        .split_once(':')
+        .ok_or_else(|| format!("{flag} expects node:round, got {value}"))?;
+    let node = node
+        .parse()
+        .map_err(|e| format!("bad {flag} node {node}: {e}"))?;
+    let round = round
+        .parse()
+        .map_err(|e| format!("bad {flag} round {round}: {e}"))?;
+    Ok((node, round))
+}
+
+/// Parse a probability flag and range-check it.
+fn parse_prob(flag: &str, value: &str) -> Result<f64, String> {
+    let p: f64 = value.parse().map_err(|e| format!("bad {flag}: {e}"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("{flag} must be in [0, 1], got {p}"));
+    }
+    Ok(p)
 }
 
 fn load_config(path: Option<&String>) -> Result<RunConfig, String> {

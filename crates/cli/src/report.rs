@@ -81,6 +81,21 @@ pub struct RuntimeSummary {
     pub undelivered: u64,
     /// Rounds flagged degraded.
     pub degraded_rounds: usize,
+    /// Recovery cycles (rollback + exclusion) the platform executed.
+    #[serde(default)]
+    pub recoveries: u64,
+    /// Times the global was restored from the last good checkpoint.
+    #[serde(default)]
+    pub rollbacks: u64,
+    /// Nodes permanently excluded by the recovery loop.
+    #[serde(default)]
+    pub excluded_nodes: Vec<usize>,
+    /// Disk checkpoints written to the checkpoint directory.
+    #[serde(default)]
+    pub checkpoints_written: u64,
+    /// First round executed after resuming from a disk checkpoint.
+    #[serde(default)]
+    pub resumed_at_round: Option<usize>,
 }
 
 impl RuntimeSummary {
@@ -100,6 +115,11 @@ impl RuntimeSummary {
             decode_errors: report.decode_errors,
             undelivered: report.undelivered,
             degraded_rounds: report.degraded_rounds,
+            recoveries: report.recoveries,
+            rollbacks: report.rollbacks,
+            excluded_nodes: report.excluded_nodes.clone(),
+            checkpoints_written: report.checkpoints_written,
+            resumed_at_round: report.resumed_at_round,
         }
     }
 }
@@ -214,6 +234,24 @@ impl fmt::Display for Report {
                     .map(|(s, c)| format!("s{s}:{c}"))
                     .collect();
                 writeln!(f, "           staleness {}", hist.join(" "))?;
+            }
+            if rt.recoveries > 0 || rt.rollbacks > 0 || !rt.excluded_nodes.is_empty() {
+                let excluded: Vec<String> =
+                    rt.excluded_nodes.iter().map(|n| n.to_string()).collect();
+                writeln!(
+                    f,
+                    "           recovery {} cycles, {} rollbacks, excluded [{}]",
+                    rt.recoveries,
+                    rt.rollbacks,
+                    excluded.join(" ")
+                )?;
+            }
+            if rt.checkpoints_written > 0 || rt.resumed_at_round.is_some() {
+                write!(f, "           {} checkpoints", rt.checkpoints_written)?;
+                if let Some(round) = rt.resumed_at_round {
+                    write!(f, ", resumed at round {round}")?;
+                }
+                writeln!(f)?;
             }
         }
         writeln!(
@@ -331,11 +369,18 @@ mod tests {
             decode_errors: 0,
             undelivered: 3,
             degraded_rounds: 2,
+            recoveries: 1,
+            rollbacks: 1,
+            excluded_nodes: vec![2, 3],
+            checkpoints_written: 4,
+            resumed_at_round: Some(5),
         });
         let text = r.to_string();
         assert!(text.contains("runtime    async mode over tcp"));
         assert!(text.contains("param hash 00c0ffee00c0ffee"));
         assert!(text.contains("staleness s0:90 s1:15 s2:5"));
+        assert!(text.contains("recovery 1 cycles, 1 rollbacks, excluded [2 3]"));
+        assert!(text.contains("4 checkpoints, resumed at round 5"));
         let json = serde_json::to_string(&r).unwrap();
         let back: Report = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);

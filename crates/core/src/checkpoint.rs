@@ -79,10 +79,19 @@ impl From<serde_json::Error> for CheckpointError {
     }
 }
 
+/// Version assumed for documents written before the `version` key
+/// existed: the field layout of those documents is exactly format 1.
+fn legacy_version() -> u32 {
+    1
+}
+
 /// A persisted model initialization.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Checkpoint {
-    /// Format version (for forward compatibility).
+    /// Format version (for forward compatibility). Documents written
+    /// before this key existed decode as version 1 — their layout is
+    /// identical — so old checkpoints keep loading.
+    #[serde(default = "legacy_version")]
     pub version: u32,
     /// Name of the algorithm that produced the parameters.
     pub algorithm: String,
@@ -169,6 +178,23 @@ impl Checkpoint {
         Ok(())
     }
 
+    /// Writes to a file atomically: the JSON goes to a `.tmp` sibling
+    /// first and is renamed into place, so a reader (or a platform
+    /// killed mid-write) never observes a torn document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on filesystem failures.
+    pub fn save_atomic(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_json()?)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
     /// Reads from a file.
     ///
     /// # Errors
@@ -224,6 +250,37 @@ mod tests {
             CheckpointError::UnsupportedVersion { found: 99 }
         ));
         assert!(err.to_string().contains("99"));
+    }
+
+    #[test]
+    fn version_less_legacy_documents_decode_as_v1() {
+        // Written by a build that predates the version key; layout is
+        // otherwise identical, so it must load tolerantly.
+        let json = r#"{"algorithm": "FedML", "params": [1.0, 2.0]}"#;
+        let ck = Checkpoint::from_json(json).unwrap();
+        assert_eq!(ck.version, 1);
+        assert_eq!(ck.algorithm, "FedML");
+        assert_eq!(ck.params, vec![1.0, 2.0]);
+        // And re-saving stamps the current version explicitly.
+        let rewritten = ck.to_json().unwrap();
+        assert!(rewritten.contains("\"version\""));
+    }
+
+    #[test]
+    fn save_atomic_replaces_without_leaving_tmp() {
+        let dir = std::env::temp_dir().join("fml_checkpoint_atomic_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("latest.json");
+        Checkpoint::new("FedML", vec![1.0])
+            .save_atomic(&path)
+            .unwrap();
+        Checkpoint::new("FedML", vec![2.0])
+            .save_atomic(&path)
+            .unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back.params, vec![2.0]);
+        assert!(!dir.join("latest.json.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

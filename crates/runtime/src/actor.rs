@@ -2,12 +2,18 @@
 //!
 //! Every source node is an actor behind a [`Transport`] link. In
 //! process, actors are multiplexed onto a fixed pool of worker OS
-//! threads (contiguous chunks, like `fml_core::parallel`): one worker
-//! services its nodes in index order each round, so a run with 1 worker
-//! and a run with 8 do exactly the same floating-point work in exactly
-//! the same per-node order. Out of process, [`run_transport_peer`]
-//! drives a single node over a socket link until the round schedule or
-//! the link ends.
+//! threads (contiguous chunks, like `fml_core::parallel`): each worker
+//! sweeps its nodes in index order, servicing whichever have a frame
+//! queued, until the platform closes the links. A node's reply depends
+//! only on the broadcast frame and the node id — never on sweep timing
+//! — so a run with 1 worker and a run with 8 do exactly the same
+//! floating-point work. Out of process, [`run_transport_peer`] drives a
+//! single node over a socket link until the link ends.
+//!
+//! There is deliberately no fixed per-round schedule on the node side:
+//! the platform's recovery loop may re-broadcast a rolled-back round,
+//! so the broadcasts *are* the schedule and actors simply answer
+//! whatever arrives.
 //!
 //! The actor's round is pure message-plumbing around the trainer's
 //! extracted step:
@@ -45,6 +51,10 @@ use crate::transport::{ChannelTransport, Transport, TransportError};
 /// means the run ended without a clean close.
 const MAX_TIMEOUT_MISSES: u32 = 10;
 
+/// How long an in-process worker sleeps when none of its actors had a
+/// frame queued. Pure liveness tuning: results never depend on it.
+const IDLE_POLL: Duration = Duration::from_millis(1);
+
 /// One node's actor state: its link and I/O counters.
 pub(crate) struct NodeActor {
     /// Node id (index into the task list).
@@ -78,7 +88,6 @@ pub(crate) struct WorkerCtx<'a> {
     pub model: &'a dyn Model,
     pub tasks: &'a [SourceTask],
     pub faults: &'a FaultPlan,
-    pub rounds: usize,
     pub local_steps: usize,
     pub recv_timeout: Duration,
 }
@@ -163,46 +172,58 @@ fn step_reply(
     Some(reply)
 }
 
-/// Services `actors` for the full round schedule, then reports.
+/// Services `actors` until the platform closes every link, then
+/// reports. Event-driven: each sweep answers whatever broadcasts are
+/// queued (including recovery re-broadcasts of rolled-back rounds) and
+/// parks briefly when nothing is.
 pub(crate) fn worker_loop(ctx: &WorkerCtx<'_>, mut actors: Vec<NodeActor>) -> WorkerOutcome {
     let mut decode_errors = 0u64;
     let mut scratch = StepScratch::new();
-    for round in 1..=ctx.rounds {
+    loop {
+        let mut any_live = false;
+        let mut serviced = false;
         for actor in &mut actors {
             if !actor.alive {
                 continue;
             }
-            if matches!(ctx.faults.draw(actor.node, round), Some(Fault::Crash)) {
-                // The platform draws the same plan and will not
-                // broadcast to us this round.
-                continue;
-            }
-            let frame = match actor.link.recv_frame(ctx.recv_timeout) {
-                Ok(frame) => frame,
-                // Missed/undelivered broadcast: skip the round, stay up.
-                Err(TransportError::Timeout) => continue,
-                Err(_) => {
-                    actor.alive = false;
+            any_live = true;
+            loop {
+                let frame = match actor.link.recv_frame(Duration::ZERO) {
+                    Ok(frame) => frame,
+                    // Nothing queued right now; move to the next actor.
+                    Err(TransportError::Timeout) => break,
+                    // The platform dropped its end: this run is over.
+                    Err(_) => {
+                        actor.alive = false;
+                        break;
+                    }
+                };
+                serviced = true;
+                let reply = step_reply(
+                    ctx,
+                    actor.node,
+                    &frame,
+                    &mut scratch,
+                    &mut actor.io,
+                    &mut decode_errors,
+                );
+                // The broadcast clone is spent; the last actor to drop
+                // it recycles the round's single encode for reuse.
+                scratch.pool.recycle(frame);
+                let Some(reply) = reply else {
                     continue;
+                };
+                if actor.link.send_frame(&reply).is_err() {
+                    actor.alive = false;
+                    break;
                 }
-            };
-            let reply = step_reply(
-                ctx,
-                actor.node,
-                &frame,
-                &mut scratch,
-                &mut actor.io,
-                &mut decode_errors,
-            );
-            // The broadcast clone is spent; the last actor to drop it
-            // recycles the round's single encode for reuse.
-            scratch.pool.recycle(frame);
-            let Some(reply) = reply else {
-                continue;
-            };
-            if actor.link.send_frame(&reply).is_err() {
-                actor.alive = false;
             }
+        }
+        if !any_live {
+            break;
+        }
+        if !serviced {
+            std::thread::sleep(IDLE_POLL);
         }
     }
     WorkerOutcome {
@@ -211,9 +232,11 @@ pub(crate) fn worker_loop(ctx: &WorkerCtx<'_>, mut actors: Vec<NodeActor>) -> Wo
     }
 }
 
-/// Drives one node over an established link until the round schedule
-/// completes or the link dies: sends the hello frame, then loops
-/// receive → decode → local update → reply. Used by
+/// Drives one node over an established link until the link dies: sends
+/// the hello frame, then loops receive → decode → local update → reply.
+/// The platform closes every link when the run ends (and may
+/// re-broadcast rolled-back rounds before that), so the link's lifetime
+/// — not a round count — bounds the loop. Used by
 /// [`crate::Runtime::run_node`] for out-of-process peers.
 ///
 /// Returns the node-side I/O counters (hello excluded — it is control
@@ -255,21 +278,12 @@ pub(crate) fn run_transport_peer(
             }
             Err(_) => break,
         };
-        // Peek the round before stepping so the schedule's end is known
-        // even when the frame turns out to be this node's crashed round.
-        let last = match MessageView::parse(&frame) {
-            Ok(view) if view.is_global() => view.round() as usize,
-            _ => 0,
-        };
         let reply = step_reply(ctx, node, &frame, &mut scratch, &mut io, &mut decode_errors);
         scratch.pool.recycle(frame);
         if let Some(reply) = reply {
             if link.send_frame(&reply).is_err() {
                 break;
             }
-        }
-        if last >= ctx.rounds {
-            break;
         }
     }
     link.close();

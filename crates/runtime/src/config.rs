@@ -1,8 +1,52 @@
-//! Runtime configuration: execution mode, actor knobs, fault stack.
+//! Runtime configuration: execution mode, actor knobs, fault stack,
+//! recovery budget, and checkpoint cadence.
+
+use std::path::PathBuf;
 
 use fml_core::{FaultPlan, GatherPolicy};
 
 use crate::clock::VirtualClock;
+use crate::health::HealthPolicy;
+
+/// Checkpoint-rollback-exclude recovery on the platform event loop,
+/// mirroring `fml_core::ft::FaultTolerance` semantics: when a round's
+/// gather loses quorum or the aggregated global goes non-finite, the
+/// platform rolls the global back to the last good value, permanently
+/// excludes the nodes the round report blames, and re-runs the round —
+/// up to [`max_recoveries`](RecoveryConfig::max_recoveries) times.
+/// Unlike the in-process trainer loop, an exhausted budget never aborts
+/// the run: the platform degrades the round and keeps going.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Whether rollback-and-exclude recovery runs at all.
+    pub enabled: bool,
+    /// Recovery cycles the whole run may consume.
+    pub max_recoveries: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            enabled: true,
+            max_recoveries: 2,
+        }
+    }
+}
+
+/// Periodic disk checkpointing of the platform global, so a killed
+/// platform resumes mid-training bitwise-deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckpointConfig {
+    /// Directory `latest.json` is atomically written into; `None`
+    /// disables disk checkpointing.
+    pub dir: Option<PathBuf>,
+    /// Write a checkpoint every this many completed rounds (the final
+    /// round is always written). Zero behaves like 1.
+    pub every: usize,
+    /// Whether a valid `latest.json` found in `dir` at startup resumes
+    /// the run from that round instead of starting fresh.
+    pub resume: bool,
+}
 
 /// Staleness handling for [`Mode::Async`] aggregation.
 ///
@@ -118,6 +162,12 @@ pub struct RuntimeConfig {
     pub faults: FaultPlan,
     /// Validation and quorum policy applied at aggregation points.
     pub gather: GatherPolicy,
+    /// Rollback-and-exclude recovery budget.
+    pub recovery: RecoveryConfig,
+    /// Per-node health state machine knobs.
+    pub health: HealthPolicy,
+    /// Disk checkpoint cadence and resume behaviour.
+    pub checkpoint: CheckpointConfig,
 }
 
 impl RuntimeConfig {
@@ -134,6 +184,9 @@ impl RuntimeConfig {
             clock: VirtualClock::new(seed),
             faults: FaultPlan::new(seed),
             gather: GatherPolicy::default(),
+            recovery: RecoveryConfig::default(),
+            health: HealthPolicy::default(),
+            checkpoint: CheckpointConfig::default(),
         }
     }
 
@@ -218,6 +271,53 @@ impl RuntimeConfig {
         self
     }
 
+    /// Sets the recovery budget.
+    pub fn with_max_recoveries(mut self, n: usize) -> Self {
+        self.recovery.max_recoveries = n;
+        self
+    }
+
+    /// Disables rollback-and-exclude recovery (faults then only degrade
+    /// rounds, the pre-recovery behaviour).
+    pub fn without_recovery(mut self) -> Self {
+        self.recovery.enabled = false;
+        self
+    }
+
+    /// Sets the node health policy.
+    pub fn with_health(mut self, policy: HealthPolicy) -> Self {
+        self.health = policy;
+        self
+    }
+
+    /// Enables disk checkpointing into `dir` (with resume on startup).
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint.dir = Some(dir.into());
+        self.checkpoint.resume = true;
+        if self.checkpoint.every == 0 {
+            self.checkpoint.every = 1;
+        }
+        self
+    }
+
+    /// Sets the checkpoint cadence (rounds between writes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `every == 0`.
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        assert!(every > 0, "checkpoint cadence must be at least 1");
+        self.checkpoint.every = every;
+        self
+    }
+
+    /// Disables resuming from an existing checkpoint (fresh start, the
+    /// directory is still written to).
+    pub fn without_resume(mut self) -> Self {
+        self.checkpoint.resume = false;
+        self
+    }
+
     /// The async policy, if in async mode.
     pub fn async_policy(&self) -> Option<&AsyncPolicy> {
         match &self.mode {
@@ -265,6 +365,25 @@ mod tests {
         assert!(cfg.async_policy().is_none());
         let a = RuntimeConfig::async_mode(5, AsyncPolicy::default().with_max_staleness(2));
         assert_eq!(a.async_policy().unwrap().max_staleness, 2);
+    }
+
+    #[test]
+    fn recovery_and_checkpoint_builders() {
+        let cfg = RuntimeConfig::barrier(5);
+        assert!(cfg.recovery.enabled);
+        assert_eq!(cfg.recovery.max_recoveries, 2);
+        assert!(cfg.checkpoint.dir.is_none());
+
+        let cfg = RuntimeConfig::barrier(5)
+            .with_max_recoveries(4)
+            .with_checkpoint_dir("/tmp/ck")
+            .with_checkpoint_every(3);
+        assert_eq!(cfg.recovery.max_recoveries, 4);
+        assert_eq!(cfg.checkpoint.dir.as_deref(), Some(std::path::Path::new("/tmp/ck")));
+        assert_eq!(cfg.checkpoint.every, 3);
+        assert!(cfg.checkpoint.resume);
+        assert!(!cfg.clone().without_resume().checkpoint.resume);
+        assert!(!cfg.without_recovery().recovery.enabled);
     }
 
     #[test]

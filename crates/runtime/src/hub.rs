@@ -15,9 +15,26 @@
 //! old link is closed, the new one takes over, and the per-node
 //! counters keep accumulating. Counters measure *physical* bytes —
 //! encoded frame plus the 4-byte length prefix — in both directions.
+//!
+//! While a joined peer is *between* connections (its link died, its
+//! replacement has not arrived), the latest broadcast is **parked** in
+//! the slot and flushed the moment the reconnect lands — so a node
+//! that bounces mid-round still receives that round's global and the
+//! round completes instead of degrading. A writer whose link dies
+//! mid-send re-parks the newest undelivered frame for the same reason.
+//! Slots are generation-counted: a dying reader only clears the queue
+//! of the connection it belongs to, never a replacement that already
+//! took the slot.
+//!
+//! Parking alone cannot close every loss window: a broadcast can be
+//! queued — or even *written*, into the kernel buffer of a socket the
+//! peer already abandoned — before the hub learns the link is dead.
+//! Reconnects that land with nothing parked are therefore flagged, and
+//! the platform drains the flags ([`Hub::take_rejoined`]) while
+//! collecting to retransmit the current round on the fresh connection.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -56,6 +73,18 @@ struct SlotState {
     /// Bounded outbound queue into the writer thread; `None` until the
     /// peer joins (and after shutdown).
     tx: Option<SyncSender<Bytes>>,
+    /// Latest broadcast held while no live connection exists; flushed
+    /// into the fresh queue when the peer reconnects.
+    parked: Option<Bytes>,
+    /// Bumped on every install; a dying reader clears `tx` only while
+    /// its own generation still owns the slot.
+    generation: u64,
+    /// Set when a reconnect lands with nothing parked: a broadcast may
+    /// have been in flight on the dying link (written into a socket the
+    /// peer had already abandoned), so the platform should consider
+    /// retransmitting the current round. Drained by
+    /// [`Hub::take_rejoined`].
+    rejoined: bool,
     counters: Arc<PeerCounters>,
     reconnects: u64,
     ever_joined: bool,
@@ -65,6 +94,9 @@ impl SlotState {
     fn empty() -> Self {
         SlotState {
             tx: None,
+            parked: None,
+            generation: 0,
+            rejoined: false,
             counters: Arc::new(PeerCounters::default()),
             reconnects: 0,
             ever_joined: false,
@@ -143,14 +175,50 @@ impl Hub {
     }
 
     /// Best-effort broadcast of one frame to `node`: queued for the
-    /// writer thread, or dropped when the peer is absent, its queue is
-    /// full, or its writer is gone. Mirrors the in-process mailbox.
+    /// writer thread, or dropped when the peer never joined or its
+    /// queue is full. Mirrors the in-process mailbox — except that a
+    /// *joined* peer currently between connections gets the frame
+    /// parked for delivery on reconnect (still counted delivered; the
+    /// round degrades later if the peer never returns).
     pub(crate) fn try_send(&self, node: usize, frame: Bytes) -> bool {
-        let slots = self.shared.slots.lock().unwrap_or_else(|e| e.into_inner());
-        match slots.get(node).and_then(|s| s.tx.as_ref()) {
-            Some(tx) => tx.try_send(frame).is_ok(),
-            None => false,
+        let mut slots = self.shared.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(slot) = slots.get_mut(node) else {
+            return false;
+        };
+        if let Some(tx) = slot.tx.as_ref() {
+            match tx.try_send(frame) {
+                Ok(()) => return true,
+                Err(TrySendError::Full(_)) => return false,
+                Err(TrySendError::Disconnected(frame)) => {
+                    // The writer died underneath us: treat it like a
+                    // link between connections and park the frame.
+                    slot.tx = None;
+                    slot.parked = Some(frame);
+                    return true;
+                }
+            }
         }
+        if slot.ever_joined && !self.shared.stop.load(Ordering::Acquire) {
+            slot.parked = Some(frame);
+            return true;
+        }
+        false
+    }
+
+    /// Returns (and clears) the nodes that reconnected since the last
+    /// call without a parked frame waiting for them. Such a peer may
+    /// have missed a broadcast entirely — the frame can be written into
+    /// a socket the peer already abandoned (the first write after the
+    /// peer's FIN succeeds into the kernel buffer and is never read) —
+    /// so the platform retransmits the current round to them while it
+    /// is still collecting.
+    pub(crate) fn take_rejoined(&self) -> Vec<usize> {
+        let mut slots = self.shared.slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(node, slot)| std::mem::take(&mut slot.rejoined).then_some(node))
+            .collect()
     }
 
     /// Stops accepting, closes every link (peers observe EOF), joins all
@@ -253,30 +321,45 @@ fn install_peer(
         }
     };
     let (out_tx, out_rx) = sync_channel::<Bytes>(shared.mailbox_cap);
-    let counters = {
+    let (counters, generation) = {
         let mut slots = shared.slots.lock().unwrap_or_else(|e| e.into_inner());
         let slot = &mut slots[node];
         if slot.ever_joined {
             slot.reconnects += 1;
+            // Nothing parked means any broadcast since the old link
+            // died was queued into it — possibly lost in flight. Let
+            // the platform retransmit. (A parked frame is flushed
+            // below, so that path needs no retransmission.)
+            slot.rejoined = slot.parked.is_none();
         } else {
             slot.ever_joined = true;
             shared.joined.fetch_add(1, Ordering::AcqRel);
         }
+        slot.generation += 1;
+        // A broadcast parked while the peer was away goes out first —
+        // the fresh queue is empty and the capacity is ≥ 1, so this
+        // cannot fail Full.
+        if let Some(parked) = slot.parked.take() {
+            let _ = out_tx.try_send(parked);
+        }
         // Replacing the queue drops the old writer's receiver end: the
         // old writer exits and closes the stale link.
         slot.tx = Some(out_tx);
-        Arc::clone(&slot.counters)
+        (Arc::clone(&slot.counters), slot.generation)
     };
 
     let writer = {
         let counters = Arc::clone(&counters);
-        std::thread::spawn(move || writer_loop(writer_link, &out_rx, &counters))
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            writer_loop(writer_link, node, generation, &out_rx, &counters, &shared)
+        })
     };
     let reader = {
         let counters = Arc::clone(&counters);
         let in_tx = in_tx.clone();
         let shared = Arc::clone(shared);
-        std::thread::spawn(move || reader_loop(link, &in_tx, &counters, &shared))
+        std::thread::spawn(move || reader_loop(link, node, generation, &in_tx, &counters, &shared))
     };
     let mut threads = shared.threads.lock().unwrap_or_else(|e| e.into_inner());
     threads.push(writer);
@@ -285,12 +368,22 @@ fn install_peer(
 
 /// Drains the bounded outbound queue onto the link. Any send error is
 /// treated as fatal (a timed-out partial write desynchronizes the
-/// stream); exiting closes the link so the peer and the paired reader
-/// both observe EOF.
-fn writer_loop(mut link: Box<dyn Transport>, out_rx: &Receiver<Bytes>, counters: &PeerCounters) {
+/// stream); the failed frame — and anything still queued behind it —
+/// is re-parked so a reconnect, not a timeout, decides the round.
+/// Exiting closes the link so the peer and the paired reader both
+/// observe EOF.
+fn writer_loop(
+    mut link: Box<dyn Transport>,
+    node: usize,
+    generation: u64,
+    out_rx: &Receiver<Bytes>,
+    counters: &PeerCounters,
+    shared: &HubShared,
+) {
     let pool = FramePool::global().handle();
     while let Ok(frame) = out_rx.recv() {
         if link.send_frame(&frame).is_err() {
+            repark_undelivered(node, generation, frame, out_rx, shared);
             break;
         }
         counters.frames_to.fetch_add(1, Ordering::AcqRel);
@@ -304,10 +397,45 @@ fn writer_loop(mut link: Box<dyn Transport>, out_rx: &Receiver<Bytes>, counters:
     link.close();
 }
 
+/// Salvages the newest frame a dying writer could not deliver: the
+/// queue behind the failed write is drained (only the latest broadcast
+/// matters) and the survivor goes back to the slot — parked if this
+/// writer's generation still owns it, forwarded into the replacement
+/// queue if a reconnect already took over.
+fn repark_undelivered(
+    node: usize,
+    generation: u64,
+    failed: Bytes,
+    out_rx: &Receiver<Bytes>,
+    shared: &HubShared,
+) {
+    let newest = out_rx.try_iter().last().unwrap_or(failed);
+    if shared.stop.load(Ordering::Acquire) {
+        return;
+    }
+    let mut slots = shared.slots.lock().unwrap_or_else(|e| e.into_inner());
+    let slot = &mut slots[node];
+    if slot.generation == generation {
+        slot.tx = None;
+        slot.parked = Some(newest);
+    } else if let Some(tx) = slot.tx.as_ref() {
+        if let Err(TrySendError::Disconnected(frame)) = tx.try_send(newest) {
+            slot.parked = Some(frame);
+        }
+    } else {
+        slot.parked = Some(newest);
+    }
+}
+
 /// Forwards every inbound frame onto the merged platform channel until
-/// the link dies or the hub stops.
+/// the link dies or the hub stops. On a link death (not a hub stop) it
+/// clears the slot's outbound queue — if its generation still owns the
+/// slot — so subsequent broadcasts park for the reconnect instead of
+/// queueing into the stale writer.
 fn reader_loop(
     mut link: Box<dyn Transport>,
+    node: usize,
+    generation: u64,
     in_tx: &Sender<Bytes>,
     counters: &PeerCounters,
     shared: &HubShared,
@@ -331,6 +459,14 @@ fn reader_loop(
         }
     }
     link.close();
+    if !shared.stop.load(Ordering::Acquire) {
+        let mut slots = shared.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = &mut slots[node];
+        if slot.generation == generation {
+            // Dropping the sender ends the paired writer too.
+            slot.tx = None;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -440,6 +576,65 @@ mod tests {
         assert_eq!(got, frame);
         let io = hub.shutdown();
         assert_eq!(io[0].reconnects, 1);
+    }
+
+    #[test]
+    fn parked_broadcast_is_flushed_on_reconnect() {
+        let (hub, _in_rx, addr) = start_tcp(1);
+        let mut first = TcpTransport::connect(&addr).unwrap();
+        first.send_frame(&hello(0)).unwrap();
+        assert_eq!(hub.await_join(Duration::from_secs(5)), 1);
+        first.close();
+        // Give the reader a moment to observe EOF and clear the slot.
+        std::thread::sleep(Duration::from_millis(500));
+
+        let frame = Message::GlobalModel {
+            round: 2,
+            params: vec![4.0, 5.0],
+        }
+        .encode();
+        assert!(
+            hub.try_send(0, frame.clone()),
+            "a joined-but-away peer parks the frame"
+        );
+
+        let mut second = TcpTransport::connect(&addr).unwrap();
+        second.send_frame(&hello(0)).unwrap();
+        // No further try_send: the parked frame alone must arrive.
+        let got = second.recv_frame(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, frame);
+        assert!(
+            hub.take_rejoined().is_empty(),
+            "a reconnect that flushed a parked frame needs no retransmit"
+        );
+        let io = hub.shutdown();
+        assert_eq!(io[0].reconnects, 1);
+    }
+
+    #[test]
+    fn rejoin_without_parked_frame_is_flagged_for_retransmission() {
+        let (hub, _in_rx, addr) = start_tcp(1);
+        let mut first = TcpTransport::connect(&addr).unwrap();
+        first.send_frame(&hello(0)).unwrap();
+        assert_eq!(hub.await_join(Duration::from_secs(5)), 1);
+        assert!(hub.take_rejoined().is_empty(), "first join is not a rejoin");
+        first.close();
+
+        let mut second = TcpTransport::connect(&addr).unwrap();
+        second.send_frame(&hello(0)).unwrap();
+        // The replacement installs asynchronously; poll the flag.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let rejoined = loop {
+            let r = hub.take_rejoined();
+            if !r.is_empty() || Instant::now() >= deadline {
+                break r;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert_eq!(rejoined, vec![0], "nothing was parked, so flag the rejoin");
+        assert!(hub.take_rejoined().is_empty(), "the flag drains on read");
+        second.close();
+        hub.shutdown();
     }
 
     #[test]

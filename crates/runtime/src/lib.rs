@@ -69,6 +69,7 @@
 mod actor;
 pub mod clock;
 pub mod config;
+pub mod health;
 mod hub;
 pub mod platform;
 pub mod report;
@@ -76,10 +77,12 @@ mod schedule;
 pub mod transport;
 
 pub use clock::VirtualClock;
-pub use config::{AsyncPolicy, Mode, RuntimeConfig};
+pub use config::{AsyncPolicy, CheckpointConfig, Mode, RecoveryConfig, RuntimeConfig};
+pub use health::{HealthPolicy, HealthTracker, NodeHealth, NodeHealthReport};
 pub use platform::{Runtime, RuntimeOutput};
 pub use report::{param_hash, NodeIo, RuntimeReport};
 pub use transport::{
-    ChannelTransport, TcpTransport, TcpTransportListener, Transport, TransportError,
-    TransportListener, UnixTransport, UnixTransportListener, CONNECT_ATTEMPTS, CONNECT_BASE_DELAY,
+    ChannelTransport, FaultyTransport, LinkFaultPlan, TcpTransport, TcpTransportListener,
+    Transport, TransportError, TransportListener, UnixTransport, UnixTransportListener,
+    CONNECT_ATTEMPTS, CONNECT_BASE_DELAY,
 };

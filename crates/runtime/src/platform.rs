@@ -42,11 +42,12 @@
 //! identical at any worker-thread count.
 
 use std::collections::BTreeMap;
-use std::sync::mpsc::{Receiver, SyncSender};
-use std::time::Duration;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use fml_core::gather::{gather, screen_update, Submission, Validated};
+use fml_core::checkpoint::Checkpoint;
+use fml_core::gather::{gather, screen_update, NodeOutcome, RoundReport, Submission, Validated};
 use fml_core::parallel::default_threads;
 use fml_core::{aggregate, Fault, LocalStepper, RoundRecord, SourceTask, TrainOutput};
 use fml_models::Model;
@@ -55,9 +56,22 @@ use fml_sim::{FramePool, MessageView, RoundTrace};
 
 use crate::actor::{run_transport_peer, worker_loop, NodeActor, WorkerCtx};
 use crate::config::{AsyncPolicy, Mode, RuntimeConfig};
+use crate::health::HealthTracker;
 use crate::hub::Hub;
 use crate::report::{NodeIo, RuntimeReport};
 use crate::transport::{channel_fleet, Transport, TransportError, TransportListener};
+
+/// File name the platform checkpoints into (inside `--checkpoint-dir`).
+const CHECKPOINT_FILE: &str = "latest.json";
+
+/// How often a collecting platform, while waiting between frames,
+/// checks for peers that reconnected mid-round and retransmits the
+/// round's broadcast to them. A frame queued into (or even written
+/// onto) a dying link can vanish without a trace — the first TCP write
+/// after the peer's FIN lands in the kernel buffer and reports success
+/// — so delivery to a bouncing peer is only settled by a resend on its
+/// fresh connection.
+const REJOIN_TICK: Duration = Duration::from_millis(100);
 
 /// The actor runtime: spawns one logical actor per source node on a
 /// worker pool and runs the platform event loop to completion.
@@ -137,7 +151,6 @@ impl Runtime {
             model,
             tasks,
             faults: &self.cfg.faults,
-            rounds,
             local_steps,
             recv_timeout: Duration::from_millis(self.cfg.recv_timeout_ms),
         };
@@ -186,6 +199,9 @@ impl Runtime {
                 },
                 history: Vec::new(),
                 comm_rounds: 0,
+                health: HealthTracker::new(n, self.cfg.health),
+                recoveries: 0,
+                resent: 0,
                 pool: FramePool::global().handle(),
             };
             let params = match self.cfg.mode {
@@ -300,6 +316,9 @@ impl Runtime {
             },
             history: Vec::new(),
             comm_rounds: 0,
+            health: HealthTracker::new(n, self.cfg.health),
+            recoveries: 0,
+            resent: 0,
             pool: FramePool::global().handle(),
         };
         let params = match self.cfg.mode {
@@ -360,7 +379,6 @@ impl Runtime {
             model,
             tasks,
             faults: &self.cfg.faults,
-            rounds: stepper.rounds(),
             local_steps: stepper.local_steps(),
             recv_timeout: Duration::from_millis(self.cfg.recv_timeout_ms),
         };
@@ -387,6 +405,16 @@ impl Peers {
             Peers::Hub(hub) => hub.try_send(node, frame),
         }
     }
+
+    /// Nodes that reconnected since the last call and may have missed a
+    /// broadcast in flight on their old link. In-process mailboxes never
+    /// lose frames silently, so the direct fleet has none.
+    fn take_rejoined(&self) -> Vec<usize> {
+        match self {
+            Peers::Direct(_) => Vec::new(),
+            Peers::Hub(hub) => hub.take_rejoined(),
+        }
+    }
 }
 
 /// The event loop's working state, borrowed for one run.
@@ -404,6 +432,14 @@ struct Platform<'a> {
     report: RuntimeReport,
     history: Vec<RoundRecord>,
     comm_rounds: usize,
+    /// Per-node health state machine; quarantined/excluded nodes leave
+    /// the broadcast set and the quorum denominator.
+    health: HealthTracker,
+    /// Recovery cycles consumed against `cfg.recovery.max_recoveries`.
+    recoveries: usize,
+    /// Broadcast frames retransmitted to mid-round reconnecters during
+    /// the current round's collect; drained into the round's trace row.
+    resent: u64,
     /// Frame storage recycled across rounds (shared with the actors and
     /// the hub via [`FramePool::global`], so a broadcast buffer released
     /// by whichever side drops the last handle serves the next round).
@@ -411,11 +447,131 @@ struct Platform<'a> {
 }
 
 impl Platform<'_> {
-    /// Nodes not scheduled to crash this round.
-    fn live_nodes(&self, round: usize) -> Vec<usize> {
+    /// Nodes this round's broadcast goes to: healthy enough to
+    /// participate (not quarantined or excluded) and not scheduled to
+    /// crash this round.
+    fn round_targets(&self, round: usize) -> Vec<usize> {
         (0..self.n)
-            .filter(|&i| !matches!(self.cfg.faults.draw(i, round), Some(Fault::Crash)))
+            .filter(|&i| {
+                self.health.is_active(i)
+                    && !matches!(self.cfg.faults.draw(i, round), Some(Fault::Crash))
+            })
             .collect()
+    }
+
+    /// `"barrier"` or `"async"`, for checkpoint metadata.
+    fn mode_label(&self) -> &'static str {
+        match self.cfg.mode {
+            Mode::Barrier => "barrier",
+            Mode::Async(_) => "async",
+        }
+    }
+
+    /// Tries to resume from `checkpoint_dir/latest.json`: restores the
+    /// global, the health states (including permanent exclusions), and
+    /// the consumed recovery budget, and returns the first round still
+    /// to run. Returns 1 (fresh start) when resume is disabled, nothing
+    /// valid is on disk, or the checkpoint belongs to a different
+    /// algorithm/mode/shape.
+    fn resume_state(&mut self, global: &mut Vec<f64>) -> usize {
+        if !self.cfg.checkpoint.resume {
+            return 1;
+        }
+        let Some(dir) = self.cfg.checkpoint.dir.as_ref() else {
+            return 1;
+        };
+        let Ok(ck) = Checkpoint::load(dir.join(CHECKPOINT_FILE)) else {
+            return 1;
+        };
+        if ck.algorithm != self.stepper.algorithm()
+            || ck.params.len() != global.len()
+            || ck.meta.get("mode").map(String::as_str) != Some(self.mode_label())
+        {
+            return 1;
+        }
+        let Some(done) = ck.meta.get("round").and_then(|s| s.parse::<usize>().ok()) else {
+            return 1;
+        };
+        if let Some(h) = ck.meta.get("health") {
+            self.health.restore_meta(h);
+        }
+        if let Some(r) = ck.meta.get("recoveries").and_then(|s| s.parse().ok()) {
+            self.recoveries = r;
+        }
+        *global = ck.params;
+        let start = done + 1;
+        self.report.resumed_at_round = Some(start);
+        start
+    }
+
+    /// Atomically writes `latest.json` when the cadence (or the final
+    /// round) says so. The document carries everything `resume_state`
+    /// needs for a bitwise-deterministic restart.
+    fn maybe_checkpoint(&mut self, round: usize, global: &[f64]) {
+        let Some(dir) = self.cfg.checkpoint.dir.clone() else {
+            return;
+        };
+        let every = self.cfg.checkpoint.every.max(1);
+        if !round.is_multiple_of(every) && round != self.rounds {
+            return;
+        }
+        let _ = std::fs::create_dir_all(&dir);
+        let ck = Checkpoint::new(self.stepper.algorithm(), global.to_vec())
+            .with_meta("round", round.to_string())
+            .with_meta("mode", self.mode_label())
+            .with_meta("recoveries", self.recoveries.to_string())
+            .with_meta("health", self.health.to_meta());
+        if ck.save_atomic(dir.join(CHECKPOINT_FILE)).is_ok() {
+            self.report.checkpoints_written += 1;
+        }
+    }
+
+    /// Feeds one gather round report into the health state machine:
+    /// contributors succeed, failed nodes (crashes, rejected-corrupt
+    /// updates, missed deadlines) fail.
+    fn record_health(&mut self, report: &RoundReport, round: usize) {
+        for &(node, outcome) in &report.outcomes {
+            if outcome.failed() {
+                self.health.record_failure(node, round);
+            } else if outcome.contributed() {
+                self.health.record_success(node, round);
+            }
+        }
+    }
+
+    /// The rollback-and-exclude decision, mirroring `fml_core::ft`:
+    /// within budget, with blame to assign, and with fleet left over,
+    /// restore the last good global, permanently exclude the failed
+    /// nodes, and report `true` so the caller re-runs the round. `false`
+    /// means unrecoverable — the runtime then degrades the round and
+    /// keeps going (it never aborts a run the way the in-process loop
+    /// surfaces an error).
+    fn try_recover(&mut self, global: &mut Vec<f64>, snapshot: &[f64], failed: &[usize], round: usize) -> bool {
+        if !self.cfg.recovery.enabled || self.recoveries >= self.cfg.recovery.max_recoveries {
+            return false;
+        }
+        let newly: Vec<usize> = failed
+            .iter()
+            .copied()
+            .filter(|&i| self.health.is_active(i))
+            .collect();
+        if newly.is_empty() {
+            // A deterministic retry would fail identically.
+            return false;
+        }
+        if self.health.active_nodes().len() - newly.len() == 0 {
+            return false;
+        }
+        for &node in &newly {
+            self.health.exclude(node, round);
+        }
+        global.clear();
+        global.extend_from_slice(snapshot);
+        self.recoveries += 1;
+        self.report.recoveries += 1;
+        self.report.rollbacks += 1;
+        self.report.excluded_nodes = self.health.excluded_nodes();
+        true
     }
 
     /// Scheduled straggle delay for `(node, round)`, if any.
@@ -431,21 +587,29 @@ impl Platform<'_> {
         self.cfg.clock.delay_s(node, round) + self.straggle_s(node, round)
     }
 
-    /// Encodes and try-sends the global model to every live node.
-    /// Returns the nodes actually delivered to and the bytes sent.
-    /// Called exactly once per round, so the per-round drop count lands
-    /// in `report.broadcast_drops[round - 1]`.
-    fn broadcast(&mut self, round: usize, global: &[f64]) -> (Vec<usize>, u64) {
+    /// Encodes and try-sends the global model to `targets`. Returns the
+    /// nodes actually delivered to, the bytes sent, and the encoded
+    /// frame itself — [`collect`](Self::collect) keeps it at hand to
+    /// retransmit to peers that reconnect mid-round, and the caller
+    /// recycles it afterwards. A recovery re-run broadcasts the same
+    /// round again, so the per-round drop slot accumulates instead of
+    /// asserting one-shot.
+    fn broadcast(
+        &mut self,
+        round: usize,
+        global: &[f64],
+        targets: &[usize],
+    ) -> (Vec<usize>, u64, Bytes) {
         // One encode per round, into a pooled buffer; every link gets a
         // refcounted clone of the same frozen frame, so fan-out to N
         // nodes costs zero further allocations or copies.
         let mut buf = self.pool.acquire(encoded_frame_len(global.len()));
         encode_global_into(round as u32, global, &mut buf);
         let frame = buf.freeze();
-        let mut delivered = Vec::with_capacity(self.n);
+        let mut delivered = Vec::with_capacity(targets.len());
         let mut bytes = 0u64;
         let mut drops = 0u64;
-        for &node in &self.live_nodes(round) {
+        for &node in targets {
             // Never block the event loop on a slow consumer: a full or
             // dead mailbox just loses this round's broadcast.
             if self.peers.try_send(node, frame.clone()) {
@@ -455,28 +619,56 @@ impl Platform<'_> {
                 drops += 1;
             }
         }
-        // Reclaimed only when every consumer has already dropped its
-        // clone; otherwise the last dropper's recycle wins.
-        self.pool.recycle(frame);
         self.report.undelivered += drops;
-        debug_assert_eq!(self.report.broadcast_drops.len(), round - 1);
-        self.report.broadcast_drops.push(drops);
-        (delivered, bytes)
+        while self.report.broadcast_drops.len() < round {
+            self.report.broadcast_drops.push(0);
+        }
+        self.report.broadcast_drops[round - 1] += drops;
+        (delivered, bytes, frame)
     }
 
     /// Drains the uplink until every node in `expected` has reported
-    /// for `round`, or the wall-clock timeout fires. Returns the
-    /// decoded updates and the bytes received.
-    fn collect(&mut self, round: usize, expected: &[usize]) -> (BTreeMap<usize, Vec<f64>>, u64) {
+    /// for `round`, or the wall-clock timeout fires. The timeout bounds
+    /// *silence* — it restarts on every received frame — and between
+    /// frames the wait is chopped into [`REJOIN_TICK`]s so the round's
+    /// broadcast (`frame`) can be retransmitted to peers that
+    /// reconnected mid-round, whose original copy may have died with
+    /// the old link. Duplicate replies are triaged as undelivered.
+    /// Returns the decoded updates and the bytes received.
+    fn collect(
+        &mut self,
+        round: usize,
+        expected: &[usize],
+        frame: &Bytes,
+    ) -> (BTreeMap<usize, Vec<f64>>, u64) {
         let mut got: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
         let mut bytes = 0u64;
+        let mut deadline = Instant::now() + self.timeout;
         while got.len() < expected.len() {
-            let Ok(frame) = self.uplink.recv_timeout(self.timeout) else {
-                // Timeout or all workers gone: triage what we have.
+            let now = Instant::now();
+            if now >= deadline {
+                // A full timeout of silence: triage what we have.
                 break;
+            }
+            let wait = REJOIN_TICK.min(deadline.saturating_duration_since(now));
+            let received = match self.uplink.recv_timeout(wait) {
+                Ok(received) => received,
+                Err(RecvTimeoutError::Timeout) => {
+                    for node in self.peers.take_rejoined() {
+                        if expected.contains(&node)
+                            && !got.contains_key(&node)
+                            && self.peers.try_send(node, frame.clone())
+                        {
+                            self.resent += 1;
+                        }
+                    }
+                    continue;
+                }
+                // All workers gone: triage what we have.
+                Err(RecvTimeoutError::Disconnected) => break,
             };
-            bytes += frame.len() as u64;
-            match MessageView::parse(&frame) {
+            bytes += received.len() as u64;
+            match MessageView::parse(&received) {
                 Ok(view) if view.is_update() => {
                     let node = view.node() as usize;
                     if view.round() as usize == round
@@ -496,7 +688,8 @@ impl Platform<'_> {
                 Err(_) => self.report.decode_errors += 1,
             }
             // The frame is spent; its storage serves a future encode.
-            self.pool.recycle(frame);
+            self.pool.recycle(received);
+            deadline = Instant::now() + self.timeout;
         }
         (got, bytes)
     }
@@ -510,7 +703,7 @@ impl Platform<'_> {
             participants,
             local_steps: self.local_steps,
             bytes,
-            retransmissions: 0,
+            retransmissions: std::mem::take(&mut self.resent),
             // Virtual time; the runtime does no compute modelling.
             comm_time_s,
             compute_time_s: 0.0,
@@ -529,19 +722,32 @@ impl Platform<'_> {
         self.report.staleness_hist[0] += count;
     }
 
-    /// Lockstep rounds. Returns the final parameters.
+    /// Lockstep rounds with checkpoint-rollback-exclude recovery.
+    /// Returns the final parameters.
     fn run_barrier(&mut self, theta0: &[f64]) -> Vec<f64> {
         // The bitwise-oracle fast path applies only when nothing can
         // perturb the round: benign plan, default policy.
         let exact_ok = self.cfg.faults.is_benign()
             && self.cfg.gather == fml_core::GatherPolicy::default();
         let mut global = theta0.to_vec();
-        let mut eval_params = theta0.to_vec();
+        let start = self.resume_state(&mut global);
+        let mut eval_params = global.clone();
+        // The last good global: what a rollback restores. Updated after
+        // every completed round, exactly like `fml_core::ft`'s
+        // in-memory checkpoint.
+        let mut snapshot = global.clone();
         let mut last_good: Vec<Option<Vec<f64>>> = vec![None; self.n];
+        // A round that rolled back stays flagged degraded even when the
+        // re-run fleet reports cleanly (same rule as `fml_core::ft`).
+        let mut recovered_this_round = false;
 
-        for round in 1..=self.rounds {
-            let (delivered, down_bytes) = self.broadcast(round, &global);
-            let (got, up_bytes) = self.collect(round, &delivered);
+        let mut round = start;
+        while round <= self.rounds {
+            self.health.begin_round(round);
+            let targets = self.round_targets(round);
+            let (delivered, down_bytes, frame) = self.broadcast(round, &global, &targets);
+            let (got, up_bytes) = self.collect(round, &delivered, &frame);
+            self.pool.recycle(frame);
             let bytes = down_bytes + up_bytes;
             let comm_time_s = got
                 .keys()
@@ -571,12 +777,21 @@ impl Platform<'_> {
                 eval_params = avg;
                 self.count_fresh_accepts(self.n as u64);
                 self.push_trace(round, delivered, bytes, comm_time_s);
+                snapshot.clone_from(&global);
+                self.maybe_checkpoint(round, &global);
+                round += 1;
                 continue;
             }
 
-            // Degraded path: full gather triage over what arrived.
-            let submissions: Vec<Submission> = (0..self.n)
-                .map(|i| match got.get(&i) {
+            // Degraded path: full gather triage over the *active*
+            // fleet. Quorum is a fraction of the active total, so
+            // excluding failed nodes during recovery shrinks the
+            // requirement — that is what lets a run finish after a
+            // minority of nodes dies.
+            let active = self.health.active_nodes();
+            let submissions: Vec<Submission> = active
+                .iter()
+                .map(|&i| match got.get(&i) {
                     Some(update) => Submission {
                         node: i,
                         weight: self.tasks[i].weight,
@@ -587,26 +802,55 @@ impl Platform<'_> {
                     None => Submission::crashed(i, self.tasks[i].weight),
                 })
                 .collect();
-            let (aggregated, reporters, degraded) =
-                match gather(round, self.n, &submissions, &self.cfg.gather) {
-                    Ok((params, round_report)) => {
-                        for (node, outcome) in &round_report.outcomes {
-                            if outcome.contributed() {
-                                if let Some(update) = got.get(node) {
-                                    last_good[*node] = Some(update.clone());
-                                }
-                            }
+            let gathered = gather(round, active.len(), &submissions, &self.cfg.gather);
+            // Quorum loss and a diverged aggregate first try rollback-
+            // and-exclude; only when recovery is impossible does the
+            // round degrade in place — the runtime never aborts a run
+            // the way the in-process loop surfaces an error.
+            let (aggregated, reporters, degraded) = match gathered {
+                Ok((params, round_report)) if params.iter().all(|x| x.is_finite()) => {
+                    self.record_health(&round_report, round);
+                    // Cache each contributor's validated report for
+                    // ReuseLast (Reported | Clipped only, like ft).
+                    for (sub, &(node, outcome)) in
+                        submissions.iter().zip(&round_report.outcomes)
+                    {
+                        debug_assert_eq!(sub.node, node);
+                        if matches!(outcome, NodeOutcome::Reported | NodeOutcome::Clipped) {
+                            last_good[node] = sub.update.clone();
                         }
-                        global = params;
-                        self.comm_rounds += 1;
-                        self.count_fresh_accepts(round_report.reporters as u64);
-                        (true, round_report.reporters, round_report.degraded)
                     }
-                    // Quorum lost: keep the previous global, flag the
-                    // round, keep going — a thin fleet must degrade,
-                    // not hang or abort the run.
-                    Err(failure) => (false, failure.report.reporters, true),
-                };
+                    global = params;
+                    self.comm_rounds += 1;
+                    self.count_fresh_accepts(round_report.reporters as u64);
+                    (true, round_report.reporters, round_report.degraded)
+                }
+                Ok((_, round_report)) => {
+                    // Validation passed per node but the combined
+                    // global diverged.
+                    self.record_health(&round_report, round);
+                    let failed = round_report.failed_nodes();
+                    if self.try_recover(&mut global, &snapshot, &failed, round) {
+                        recovered_this_round = true;
+                        continue;
+                    }
+                    (false, round_report.reporters, true)
+                }
+                Err(failure) => {
+                    self.record_health(&failure.report, round);
+                    let failed = failure.report.failed_nodes();
+                    if self.try_recover(&mut global, &snapshot, &failed, round) {
+                        recovered_this_round = true;
+                        continue;
+                    }
+                    // Unrecoverable quorum loss: keep the previous
+                    // global, flag the round, keep going — a thin
+                    // fleet must degrade, not hang.
+                    (false, failure.report.reporters, true)
+                }
+            };
+            let degraded =
+                degraded || recovered_this_round || self.health.removed_count() > 0;
             let (meta_loss, train_loss) =
                 self.stepper.eval_losses(self.model, self.tasks, &global);
             self.history.push(RoundRecord {
@@ -617,21 +861,38 @@ impl Platform<'_> {
                 reporters,
                 degraded,
             });
-            eval_params = global.clone();
+            eval_params.clone_from(&global);
             self.push_trace(round, delivered, bytes, comm_time_s);
+            snapshot.clone_from(&global);
+            self.maybe_checkpoint(round, &global);
+            recovered_this_round = false;
+            round += 1;
         }
+        self.report.node_health = self.health.summaries();
+        self.report.excluded_nodes = self.health.excluded_nodes();
         eval_params
     }
 
     /// Bounded-staleness rounds. Returns the final parameters.
     fn run_async(&mut self, theta0: &[f64], policy: &AsyncPolicy) -> Vec<f64> {
         let mut global = theta0.to_vec();
+        let start = self.resume_state(&mut global);
         let mut pending: Vec<Pending> = Vec::new();
         let round_s = self.cfg.round_duration_s;
 
-        for round in 1..=self.rounds {
-            let (delivered, down_bytes) = self.broadcast(round, &global);
-            let (got, up_bytes) = self.collect(round, &delivered);
+        for round in start..=self.rounds {
+            self.health.begin_round(round);
+            let targets = self.round_targets(round);
+            // Active nodes skipped for a scheduled crash count as a
+            // health failure, same as a missing barrier report.
+            for i in self.health.active_nodes() {
+                if !targets.contains(&i) {
+                    self.health.record_failure(i, round);
+                }
+            }
+            let (delivered, down_bytes, frame) = self.broadcast(round, &global, &targets);
+            let (got, up_bytes) = self.collect(round, &delivered, &frame);
+            self.pool.recycle(frame);
             let bytes = down_bytes + up_bytes;
 
             // Stamp each physical arrival with its *virtual* arrival
@@ -660,18 +921,22 @@ impl Platform<'_> {
                     .then(a.node.cmp(&b.node))
             });
 
+            // What a divergence rollback restores this round.
+            let round_start = global.clone();
             let mut applied = 0usize;
             let mut comm_time_s = 0.0f64;
             for mut p in due {
                 let staleness = round - p.origin;
                 if staleness > policy.max_staleness {
                     self.report.rejected_stale += 1;
+                    self.health.record_failure(p.node, round);
                     continue;
                 }
                 if screen_update(&mut p.params, &self.cfg.gather.validation)
                     == Validated::Rejected
                 {
                     self.report.rejected_invalid += 1;
+                    self.health.record_failure(p.node, round);
                     continue;
                 }
                 let w = policy.weight(self.tasks[p.node].weight, self.n, staleness);
@@ -683,13 +948,23 @@ impl Platform<'_> {
                 }
                 self.report.staleness_hist[staleness] += 1;
                 applied += 1;
+                self.health.record_success(p.node, round);
                 comm_time_s =
                     comm_time_s.max(p.arrival_time_s - (p.origin - 1) as f64 * round_s);
             }
 
+            let mut rolled_back = false;
+            if global.iter().any(|x| !x.is_finite()) {
+                // Every fold passed per-update validation but their
+                // composition diverged: restore the round-start global.
+                global = round_start;
+                self.report.rollbacks += 1;
+                rolled_back = true;
+            }
+
             let required = self.cfg.gather.required_reporters(self.n);
-            let degraded = applied < required || delivered.len() < self.n;
-            if applied > 0 {
+            let degraded = applied < required || delivered.len() < self.n || rolled_back;
+            if applied > 0 && !rolled_back {
                 self.comm_rounds += 1;
             }
             let (meta_loss, train_loss) =
@@ -698,15 +973,18 @@ impl Platform<'_> {
                 iteration: round * self.local_steps,
                 meta_loss,
                 train_loss,
-                aggregated: applied > 0,
+                aggregated: applied > 0 && !rolled_back,
                 reporters: applied,
                 degraded,
             });
             self.push_trace(round, delivered, bytes, comm_time_s);
+            self.maybe_checkpoint(round, &global);
         }
 
         // Uploads still in (virtual) flight when the schedule ended.
         self.report.undelivered += pending.len() as u64;
+        self.report.node_health = self.health.summaries();
+        self.report.excluded_nodes = self.health.excluded_nodes();
         global
     }
 }

@@ -5,6 +5,8 @@ use serde::{Deserialize, Serialize};
 
 use fml_sim::TraceLog;
 
+use crate::health::NodeHealthReport;
+
 /// Frame and byte counters for one node actor, measured at the node
 /// (received broadcasts, sent updates).
 ///
@@ -71,6 +73,27 @@ pub struct RuntimeReport {
     /// Rounds flagged degraded (missing reporters, rejected updates, or
     /// a skipped aggregation).
     pub degraded_rounds: usize,
+    /// Recovery cycles consumed: each one rolled the global back to the
+    /// last good checkpoint and excluded the blamed nodes.
+    #[serde(default)]
+    pub recoveries: u64,
+    /// Times the global was restored from the last good checkpoint
+    /// (one per recovery cycle).
+    #[serde(default)]
+    pub rollbacks: u64,
+    /// Nodes permanently excluded by the recovery loop, in id order.
+    #[serde(default)]
+    pub excluded_nodes: Vec<usize>,
+    /// Final per-node health states and their transition histories.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub node_health: Vec<NodeHealthReport>,
+    /// Disk checkpoints written to `--checkpoint-dir` during this run.
+    #[serde(default)]
+    pub checkpoints_written: u64,
+    /// When the run resumed from a disk checkpoint: the first round it
+    /// actually executed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub resumed_at_round: Option<usize>,
     /// Per-round trace in `fml-sim`'s flight-recorder format.
     pub trace: TraceLog,
 }
@@ -163,6 +186,12 @@ mod tests {
             undelivered: 2,
             broadcast_drops: vec![0, 1, 0, 1],
             degraded_rounds: 1,
+            recoveries: 1,
+            rollbacks: 1,
+            excluded_nodes: vec![1],
+            node_health: Vec::new(),
+            checkpoints_written: 2,
+            resumed_at_round: None,
             trace: TraceLog::new(),
         }
     }
@@ -202,6 +231,13 @@ mod tests {
         assert_eq!(r.transport, "");
         assert!(r.broadcast_drops.is_empty());
         assert_eq!(r.per_node[0].reconnects, 0);
+        // PR-7 recovery fields default too.
+        assert_eq!(r.recoveries, 0);
+        assert_eq!(r.rollbacks, 0);
+        assert!(r.excluded_nodes.is_empty());
+        assert!(r.node_health.is_empty());
+        assert_eq!(r.checkpoints_written, 0);
+        assert_eq!(r.resumed_at_round, None);
     }
 
     #[test]

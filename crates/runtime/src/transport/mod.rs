@@ -19,12 +19,18 @@
 //! into a [`fml_sim::FrameBuffer`], so arbitrary kernel-level splits
 //! and coalescing of frames are invisible, and a garbage length prefix
 //! poisons the link ([`TransportError::Corrupt`]) instead of allocating.
+//!
+//! [`FaultyTransport`] decorates any of the three with seeded
+//! drop/delay/corrupt/disconnect injection at the seam, for end-to-end
+//! recovery testing.
 
 mod channel;
+mod faulty;
 mod stream;
 
 pub use channel::ChannelTransport;
 pub(crate) use channel::channel_fleet;
+pub use faulty::{FaultyTransport, LinkFaultPlan, LinkFaultStats};
 pub use stream::{
     TcpTransport, TcpTransportListener, UnixTransport, UnixTransportListener, CONNECT_ATTEMPTS,
     CONNECT_BASE_DELAY,

@@ -12,4 +12,5 @@ cargo test --workspace -q
 "$(dirname "$0")/runtime_smoke.sh"
 "$(dirname "$0")/transport_smoke.sh"
 "$(dirname "$0")/scale_smoke.sh"
+"$(dirname "$0")/recovery_smoke.sh"
 echo "check: OK"
