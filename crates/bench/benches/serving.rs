@@ -1,0 +1,216 @@
+//! Criterion benches on the adaptation service: the workspace-reusing
+//! adapt kernel vs the allocating one, a single client's request
+//! round-trip over TCP, and (timed runs only) an 8-client concurrent
+//! load phase whose p50/p99 latency and bytes-per-request land in a
+//! `serving` section of `BENCH_pr8.json` at the repository root
+//! (skipped in `--test` mode).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{black_box, Criterion};
+use fml_core::adapt::{adapt, adapt_into, AdaptScratch};
+use fml_models::{Batch, Model, SoftmaxRegression};
+use fml_runtime::serving::request_from_batch;
+use fml_runtime::{
+    AdaptClient, AdaptOutcome, AdaptServer, ServingConfig, SharedGlobal, TcpTransport,
+    TcpTransportListener,
+};
+use rand::SeedableRng;
+
+const DIM: usize = 20;
+const CLASSES: usize = 5;
+const K: usize = 5;
+const ALPHA: f64 = 0.05;
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+fn model() -> Arc<dyn Model> {
+    Arc::new(SoftmaxRegression::new(DIM, CLASSES).with_l2(1e-3))
+}
+
+fn support_batch(k: usize, seed: u64) -> Batch {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..k * DIM)
+        .map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0))
+        .collect();
+    let xs = fml_linalg::Matrix::from_vec(k, DIM, data).unwrap();
+    let labels = (0..k).map(|i| i % CLASSES).collect();
+    Batch::classification(xs, labels).unwrap()
+}
+
+fn published_global(m: &dyn Model) -> (SharedGlobal, Vec<f64>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let theta = m.init_params(&mut rng);
+    let global = SharedGlobal::new();
+    global.publish(1, &theta);
+    (global, theta)
+}
+
+fn start_tcp_server(workers: usize) -> AdaptServer {
+    let m = model();
+    let (global, _) = published_global(m.as_ref());
+    let listener = TcpTransportListener::bind("127.0.0.1:0").unwrap();
+    AdaptServer::start(
+        Box::new(listener),
+        m,
+        global,
+        ServingConfig::default().with_workers(workers),
+    )
+}
+
+/// The compute kernel alone: allocating `adapt` vs workspace-reusing
+/// `adapt_into` — the per-request saving every serving worker banks.
+fn bench_adapt_kernel(c: &mut Criterion) {
+    let m = model();
+    let (_, theta) = published_global(m.as_ref());
+    let batch = support_batch(K, 3);
+    let mut group = c.benchmark_group("adapt_kernel");
+    group.bench_function("alloc", |b| {
+        b.iter(|| adapt(m.as_ref(), black_box(&theta), &batch, ALPHA, 5))
+    });
+    let mut scratch = AdaptScratch::for_model(m.as_ref());
+    let mut out = Vec::with_capacity(m.param_len());
+    group.bench_function("workspace", |b| {
+        b.iter(|| {
+            adapt_into(
+                m.as_ref(),
+                black_box(&theta),
+                &batch,
+                ALPHA,
+                5,
+                &mut scratch,
+                &mut out,
+            )
+        })
+    });
+    group.finish();
+}
+
+/// One client's full request round-trip over TCP loopback: encode,
+/// send, server-side adapt, reply, decode.
+fn bench_serving_rtt(c: &mut Criterion) {
+    let server = start_tcp_server(2);
+    let link = TcpTransport::connect(server.local_addr()).unwrap();
+    let mut client = AdaptClient::new(Box::new(link));
+    let batch = support_batch(K, 3);
+    let mut group = c.benchmark_group("serving_rtt");
+    for steps in [1u32, 5] {
+        let req = request_from_batch(steps, 0, ALPHA, steps, &batch);
+        group.bench_function(format!("steps{steps}"), |b| {
+            b.iter(|| {
+                match client.request(black_box(&req), TIMEOUT).unwrap() {
+                    AdaptOutcome::Adapted { params, .. } => params,
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+            })
+        });
+    }
+    group.finish();
+    drop(client);
+    server.shutdown();
+}
+
+/// Timed-run-only load phase: 8 concurrent TCP clients, each firing a
+/// burst of requests; the server's own histogram provides p50/p99 and
+/// bytes-per-request for the perf report.
+fn concurrent_load_results() -> Vec<fml_bench::perf::PerfResult> {
+    const CLIENTS: usize = 8;
+    const REQUESTS: usize = 50;
+    let server = start_tcp_server(4);
+    let addr = server.local_addr().to_string();
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let addr = addr.clone();
+            s.spawn(move || {
+                let link = TcpTransport::connect(&addr).unwrap();
+                let mut client = AdaptClient::new(Box::new(link));
+                let batch = support_batch(K, c as u64);
+                for r in 0..REQUESTS {
+                    let req = request_from_batch((c * 1000 + r) as u32, c as u32, ALPHA, 5, &batch);
+                    let outcome = client.request(&req, TIMEOUT).unwrap();
+                    assert!(matches!(outcome, AdaptOutcome::Adapted { .. }));
+                }
+            });
+        }
+    });
+    let report = server.shutdown();
+    assert_eq!(report.responses, (CLIENTS * REQUESTS) as u64);
+    assert_eq!(report.rejected_total(), 0, "load phase must not shed");
+    // Latency percentiles ride the ns_per_iter field (converted µs→ns);
+    // bytes-per-response is a byte count in the same slot, labelled by
+    // its id — the schema has one numeric column and ids carry units.
+    vec![
+        fml_bench::perf::PerfResult {
+            id: "serving_load/p50_latency".into(),
+            ns_per_iter: report.latency.p50_us as f64 * 1e3,
+        },
+        fml_bench::perf::PerfResult {
+            id: "serving_load/p99_latency".into(),
+            ns_per_iter: report.latency.p99_us as f64 * 1e3,
+        },
+        fml_bench::perf::PerfResult {
+            id: "serving_load/max_latency".into(),
+            ns_per_iter: report.latency.max_us as f64 * 1e3,
+        },
+        fml_bench::perf::PerfResult {
+            id: "serving_load/bytes_per_response".into(),
+            ns_per_iter: report.bytes_per_response(),
+        },
+        fml_bench::perf::PerfResult {
+            id: "serving_load/qps".into(),
+            ns_per_iter: report.qps,
+        },
+    ]
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_adapt_kernel(&mut c);
+    bench_serving_rtt(&mut c);
+
+    // Timed runs (not `--test`) record the perf trajectory.
+    if c.results().is_empty() {
+        return;
+    }
+    let mut results: Vec<fml_bench::perf::PerfResult> = c
+        .results()
+        .iter()
+        .map(|r| fml_bench::perf::PerfResult {
+            id: r.id.clone(),
+            ns_per_iter: r.ns_per_iter,
+        })
+        .collect();
+    results.extend(concurrent_load_results());
+    let comparisons = [
+        fml_bench::perf::comparison(
+            "adapt_workspace_vs_alloc",
+            &results,
+            "adapt_kernel/alloc",
+            "adapt_kernel/workspace",
+        ),
+        fml_bench::perf::comparison(
+            "rtt_steps1_vs_steps5",
+            &results,
+            "serving_rtt/steps5",
+            "serving_rtt/steps1",
+        ),
+        fml_bench::perf::comparison(
+            "load_p99_over_p50",
+            &results,
+            "serving_load/p99_latency",
+            "serving_load/p50_latency",
+        ),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+    fml_bench::perf::write_report_named(
+        "BENCH_pr8.json",
+        "serving",
+        fml_bench::perf::PerfSection {
+            host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            results,
+            comparisons,
+        },
+    );
+}

@@ -29,7 +29,7 @@ mod report;
 pub use config::{
     AlgorithmConfig, DatasetConfig, EvalConfig, ModelConfig, NetworkKind, RunConfig, SimulateConfig,
 };
-pub use report::{EvalReport, Report, RuntimeSummary, SimReport, TrainReport};
+pub use report::{AdaptReport, EvalReport, Report, RuntimeSummary, SimReport, TrainReport};
 
 use fml_core::{
     adapt, CorruptMode, FaultPlan, FedAvg, FedAvgConfig, FedMl, FedMlConfig, FedProx,
@@ -44,8 +44,9 @@ use fml_data::{
 use fml_dro::BoxConstraint;
 use fml_models::{Activation, MlpBuilder, Model, SoftmaxRegression};
 use fml_runtime::{
-    param_hash, AsyncPolicy, FaultyTransport, LinkFaultPlan, NodeIo, Runtime, RuntimeConfig,
-    TcpTransport, TcpTransportListener, Transport, TransportListener, UnixTransport,
+    param_hash, serving::request_from_batch, AdaptClient, AdaptOutcome, AdaptServer, AsyncPolicy,
+    FaultyTransport, LinkFaultPlan, NodeIo, Runtime, RuntimeConfig, ServingConfig, ServingReport,
+    SharedGlobal, TcpTransport, TcpTransportListener, Transport, TransportListener, UnixTransport,
     UnixTransportListener, CONNECT_ATTEMPTS, CONNECT_BASE_DELAY,
 };
 use fml_sim::{Network, SimConfig, SimRunner};
@@ -569,6 +570,325 @@ pub fn run_runtime_node(cfg: &RunConfig, opts: &RuntimeOptions) -> Result<NodeIo
         node,
         link.as_mut(),
     ))
+}
+
+/// Knobs of the `adapt-serve` subcommand: where the service listens and
+/// where its global comes from.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeOptions {
+    /// Socket transport the service listens on (tcp or uds).
+    pub transport: TransportKind,
+    /// Address/path to listen on.
+    pub listen: Option<String>,
+    /// Load the served global from this checkpoint directory.
+    pub checkpoint_dir: Option<String>,
+    /// Run a co-resident training platform (in-process, barrier mode)
+    /// and hot-swap its global into the service after every round.
+    pub attach: bool,
+    /// Worker-thread override for the adaptation pool.
+    pub workers: Option<usize>,
+    /// Bounded request-queue depth override.
+    pub queue_depth: Option<usize>,
+    /// Per-request support-size budget override.
+    pub max_k: Option<usize>,
+    /// Per-request gradient-step budget override.
+    pub max_steps: Option<u32>,
+    /// Queue-wait deadline override, milliseconds.
+    pub queue_deadline_ms: Option<u64>,
+    /// Serve this many well-formed requests, then shut down and report
+    /// (`None` serves until the process is killed).
+    pub max_requests: Option<u64>,
+    /// Seed override; `None` uses the config's seed.
+    pub seed: Option<u64>,
+}
+
+/// Knobs of the `adapt` subcommand: one client-side adaptation
+/// round-trip against a running service (or an offline checkpoint).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptOptions {
+    /// Socket transport to dial (tcp or uds).
+    pub transport: TransportKind,
+    /// Address/path of a running adaptation service.
+    pub connect: Option<String>,
+    /// Index into the held-out target-node list to sample K shots from.
+    pub target: usize,
+    /// Support size override; `None` uses the config's `eval.k`.
+    pub k: Option<usize>,
+    /// Gradient-step override; `None` uses `eval.adapt_steps`.
+    pub steps: Option<usize>,
+    /// Inner-learning-rate override; `None` uses `eval.adapt_lr`.
+    pub alpha: Option<f64>,
+    /// Skip the wire: adapt locally from `--checkpoint-dir` instead.
+    /// The parity reference for what the service should have returned.
+    pub offline: bool,
+    /// Checkpoint directory for `--offline`.
+    pub checkpoint_dir: Option<String>,
+    /// Seed override; `None` uses the config's seed.
+    pub seed: Option<u64>,
+    /// Reply deadline, milliseconds.
+    pub timeout_ms: u64,
+}
+
+impl Default for AdaptOptions {
+    fn default() -> Self {
+        AdaptOptions {
+            transport: TransportKind::default(),
+            connect: None,
+            target: 0,
+            k: None,
+            steps: None,
+            alpha: None,
+            offline: false,
+            checkpoint_dir: None,
+            seed: None,
+            timeout_ms: 10_000,
+        }
+    }
+}
+
+/// The [`ServingConfig`] the options describe.
+fn build_serving_config(opts: &ServeOptions) -> ServingConfig {
+    let mut cfg = ServingConfig::default();
+    if let Some(w) = opts.workers {
+        cfg = cfg.with_workers(w);
+    }
+    if let Some(d) = opts.queue_depth {
+        cfg = cfg.with_queue_depth(d);
+    }
+    if let Some(k) = opts.max_k {
+        cfg = cfg.with_max_k(k);
+    }
+    if let Some(s) = opts.max_steps {
+        cfg = cfg.with_max_steps(s);
+    }
+    if let Some(ms) = opts.queue_deadline_ms {
+        cfg = cfg.with_queue_deadline_ms(ms);
+    }
+    cfg
+}
+
+/// Binds the listener an adaptation service was asked for.
+fn bind_listener(
+    transport: TransportKind,
+    addr: &str,
+) -> Result<Box<dyn TransportListener>, String> {
+    match transport {
+        TransportKind::Tcp => Ok(Box::new(
+            TcpTransportListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?,
+        )),
+        TransportKind::Uds => Ok(Box::new(
+            UnixTransportListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?,
+        )),
+        TransportKind::Channel => {
+            Err("adapt-serve needs a socket transport (--transport tcp|uds)".into())
+        }
+    }
+}
+
+/// Polls the server until it has seen `max_requests` well-formed
+/// requests (forever when `None`), then shuts it down for the report.
+fn serve_until(server: AdaptServer, max_requests: Option<u64>) -> ServingReport {
+    loop {
+        if let Some(n) = max_requests {
+            if server.report().requests >= n {
+                return server.shutdown();
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+/// Runs the long-lived adaptation service: loads or live-attaches a
+/// meta-trained global and answers `Adapt(K samples)` requests over a
+/// socket transport until the request budget is exhausted.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the options are inconsistent,
+/// the checkpoint is missing or shaped for a different model, or the
+/// listener cannot bind.
+pub fn run_adapt_serve(cfg: &RunConfig, opts: &ServeOptions) -> Result<ServingReport, String> {
+    let addr = opts
+        .listen
+        .as_deref()
+        .ok_or("adapt-serve requires --listen <addr>")?;
+    let seed = opts.seed.unwrap_or(cfg.seed);
+    let setup = build_runtime_setup(cfg, seed)?;
+    let model: std::sync::Arc<dyn Model> = std::sync::Arc::from(setup.model);
+    let serving_cfg = build_serving_config(opts);
+
+    let global = match (&opts.checkpoint_dir, opts.attach) {
+        (Some(_), true) => {
+            return Err("--checkpoint-dir and --attach are mutually exclusive".into())
+        }
+        (Some(dir), false) => {
+            let (global, ck) = SharedGlobal::from_checkpoint(std::path::Path::new(dir))
+                .map_err(|e| format!("loading checkpoint from {dir}: {e}"))?;
+            if ck.params.len() != model.param_len() {
+                return Err(format!(
+                    "checkpoint has {} parameters but the configured model has {}",
+                    ck.params.len(),
+                    model.param_len()
+                ));
+            }
+            global
+        }
+        (None, true) => SharedGlobal::new(),
+        (None, false) => return Err("adapt-serve requires --checkpoint-dir or --attach".into()),
+    };
+
+    let listener = bind_listener(opts.transport, addr)?;
+    // Stderr, like the platform's listening line, so scripts can scrape
+    // the real address when an ephemeral TCP port was requested.
+    eprintln!("adapt service listening on {}", listener.local_addr());
+
+    if opts.attach {
+        // Train in-process on the channel runtime, hot-swapping each
+        // round's global into the service while it answers requests.
+        let rt_cfg = build_runtime_config(&RuntimeOptions::default(), seed);
+        let runtime = Runtime::new(rt_cfg).with_publisher(global.clone());
+        let server = AdaptServer::start(listener, std::sync::Arc::clone(&model), global, serving_cfg);
+        let report = std::thread::scope(|s| {
+            let trainer = s.spawn(|| {
+                runtime.run(
+                    setup.stepper.as_ref(),
+                    model.as_ref(),
+                    &setup.tasks,
+                    &setup.theta0,
+                )
+            });
+            let report = serve_until(server, opts.max_requests);
+            let _ = trainer.join();
+            report
+        });
+        Ok(report)
+    } else {
+        let server = AdaptServer::start(listener, model, global, serving_cfg);
+        Ok(serve_until(server, opts.max_requests))
+    }
+}
+
+/// Runs one target-node adaptation: samples the first `K` shots from a
+/// held-out target node, obtains personalized parameters — from a
+/// running service over the wire, or offline from a checkpoint — and
+/// evaluates query loss/accuracy before and after adaptation.
+///
+/// Served and offline runs on the same checkpoint produce the same
+/// `param_hash`: the support split is deterministic in `(config, seed)`
+/// and the service computes with the exact offline kernel.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the options are inconsistent,
+/// the target index is out of range, the service rejected the request,
+/// or the wire failed.
+pub fn run_adapt(cfg: &RunConfig, opts: &AdaptOptions) -> Result<AdaptReport, String> {
+    let seed = opts.seed.unwrap_or(cfg.seed);
+    let setup = build_runtime_setup(cfg, seed)?;
+    if opts.target >= setup.targets.len() {
+        return Err(format!(
+            "--target {} out of range: {} held-out target nodes",
+            opts.target,
+            setup.targets.len()
+        ));
+    }
+    let node = &setup.targets[opts.target];
+    let k = opts.k.unwrap_or(cfg.eval.k);
+    let steps = opts.steps.unwrap_or(cfg.eval.adapt_steps);
+    let alpha = opts.alpha.unwrap_or(cfg.eval.adapt_lr);
+    if node.batch.len() < 2 {
+        return Err(format!("target node {} has fewer than 2 samples", node.id));
+    }
+    // First-K split: pure in (config, seed), so a served request and an
+    // offline replay adapt on the same support set.
+    let split = fml_data::TaskSplit::deterministic(&node.batch, k);
+    let model = setup.model;
+
+    let (source, global_round, theta, phi) = if opts.offline {
+        let dir = opts
+            .checkpoint_dir
+            .as_deref()
+            .ok_or("--offline requires --checkpoint-dir")?;
+        let (global, ck) = SharedGlobal::from_checkpoint(std::path::Path::new(dir))
+            .map_err(|e| format!("loading checkpoint from {dir}: {e}"))?;
+        if ck.params.len() != model.param_len() {
+            return Err(format!(
+                "checkpoint has {} parameters but the configured model has {}",
+                ck.params.len(),
+                model.param_len()
+            ));
+        }
+        let phi = adapt::adapt(model.as_ref(), &ck.params, &split.train, alpha, steps);
+        ("offline".to_string(), global.round(), ck.params, phi)
+    } else {
+        let addr = opts
+            .connect
+            .as_deref()
+            .ok_or("adapt requires --connect <addr> (or --offline)")?;
+        let link: Box<dyn Transport> = match opts.transport {
+            TransportKind::Tcp => Box::new(
+                TcpTransport::connect_with_backoff(addr, CONNECT_ATTEMPTS, CONNECT_BASE_DELAY)
+                    .map_err(|e| format!("connect {addr}: {e}"))?,
+            ),
+            TransportKind::Uds => Box::new(
+                UnixTransport::connect_with_backoff(addr, CONNECT_ATTEMPTS, CONNECT_BASE_DELAY)
+                    .map_err(|e| format!("connect {addr}: {e}"))?,
+            ),
+            TransportKind::Channel => {
+                return Err("adapt needs a socket transport (--transport tcp|uds)".into())
+            }
+        };
+        let timeout = std::time::Duration::from_millis(opts.timeout_ms.max(1));
+        let mut client = AdaptClient::new(link);
+        let steps_u32 =
+            u32::try_from(steps).map_err(|_| format!("--steps {steps} does not fit in u32"))?;
+        // Zero-step probe first: returns the global unchanged, giving
+        // the pre-adaptation baseline without a second endpoint.
+        let probe = request_from_batch(1, node.id as u32, alpha, 0, &split.train);
+        let theta = match client
+            .request(&probe, timeout)
+            .map_err(|e| format!("adaptation probe: {e}"))?
+        {
+            AdaptOutcome::Adapted { params, .. } => params,
+            AdaptOutcome::Rejected(reason) => {
+                return Err(format!("service rejected the probe: {reason}"))
+            }
+        };
+        let req = request_from_batch(2, node.id as u32, alpha, steps_u32, &split.train);
+        match client
+            .request(&req, timeout)
+            .map_err(|e| format!("adaptation request: {e}"))?
+        {
+            AdaptOutcome::Adapted {
+                global_round,
+                params,
+            } => {
+                let kind = match opts.transport {
+                    TransportKind::Tcp => "tcp",
+                    TransportKind::Uds => "uds",
+                    TransportKind::Channel => unreachable!("rejected above"),
+                };
+                (kind.to_string(), Some(global_round), theta, params)
+            }
+            AdaptOutcome::Rejected(reason) => {
+                return Err(format!("service rejected the request: {reason}"))
+            }
+        }
+    };
+
+    Ok(AdaptReport {
+        target: node.id,
+        source,
+        k: split.train.len(),
+        steps,
+        alpha,
+        global_round,
+        pre_loss: model.loss(&theta, &split.test),
+        post_loss: model.loss(&phi, &split.test),
+        pre_accuracy: model.accuracy(&theta, &split.test),
+        post_accuracy: model.accuracy(&phi, &split.test),
+        param_hash: param_hash(&phi),
+    })
 }
 
 fn train(

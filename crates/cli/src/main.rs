@@ -22,7 +22,10 @@
 //! node (`--connect --node <id>`) run as separate processes sharing
 //! nothing but the config file and the wire.
 
-use fml_cli::{run, run_runtime, run_runtime_node, RunConfig, RuntimeMode, RuntimeOptions};
+use fml_cli::{
+    run, run_adapt, run_adapt_serve, run_runtime, run_runtime_node, AdaptOptions, RunConfig,
+    RuntimeMode, RuntimeOptions, ServeOptions,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -52,11 +55,24 @@ const USAGE: &str = "usage:
         [--fault-seed N] [--fault-drop P] [--fault-corrupt P]
         [--fault-delay-prob P] [--fault-delay-ms MS]
         [--fault-disconnect-after N]
+  fedml adapt-serve <config.json> --listen <addr> [--transport tcp|uds]
+        (--checkpoint-dir <dir> | --attach) [--workers N]
+        [--queue-depth N] [--max-k N] [--max-steps N]
+        [--queue-deadline-ms MS] [--max-requests N] [--seed N]
+        [--json <out.json>]
+  fedml adapt <config.json> --connect <addr> [--transport tcp|uds]
+        [--target I] [--k N] [--steps N] [--alpha A] [--seed N]
+        [--timeout-ms MS] [--json <out.json>]
+        (or: --offline --checkpoint-dir <dir> to adapt locally)
   (socket transports: run the platform with --listen, then one process
    per node with --connect and --node; addr is host:port for tcp, a
    socket file path for uds. --crash-from/--corrupt-at are repeatable
    and script node faults on the platform; --fault-* flags install a
-   seeded fault-injecting wrapper on a node's link.)";
+   seeded fault-injecting wrapper on a node's link.
+   adapt-serve answers Adapt(K samples) requests from a checkpointed
+   global, or --attach trains in-process and hot-swaps each round's
+   global into the service; adapt samples the first K shots from a
+   held-out target node and reports pre/post-adaptation query loss.)";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -114,6 +130,30 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 return Ok(());
             }
             let report = run_runtime(&cfg, &opts)?;
+            print!("{report}");
+            if let Some(path) = json_out {
+                let json = serde_json::to_string_pretty(&report).expect("report serializes");
+                std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+                println!("wrote JSON report to {path}");
+            }
+            Ok(())
+        }
+        Some("adapt-serve") => {
+            let cfg = load_config(args.get(1))?;
+            let (opts, json_out) = parse_serve_flags(&args[2..])?;
+            let report = run_adapt_serve(&cfg, &opts)?;
+            println!("{report}");
+            if let Some(path) = json_out {
+                let json = serde_json::to_string_pretty(&report).expect("report serializes");
+                std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+                println!("wrote JSON report to {path}");
+            }
+            Ok(())
+        }
+        Some("adapt") => {
+            let cfg = load_config(args.get(1))?;
+            let (opts, json_out) = parse_adapt_flags(&args[2..])?;
+            let report = run_adapt(&cfg, &opts)?;
             print!("{report}");
             if let Some(path) = json_out {
                 let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -243,6 +283,151 @@ fn parse_runtime_flags(args: &[String]) -> Result<(RuntimeOptions, Option<String
                         .map_err(|e| format!("bad --fault-disconnect-after: {e}"))?,
                 )
             }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok((opts, json_out))
+}
+
+fn parse_serve_flags(args: &[String]) -> Result<(ServeOptions, Option<String>), String> {
+    let mut opts = ServeOptions {
+        transport: fml_cli::TransportKind::Tcp,
+        ..ServeOptions::default()
+    };
+    let mut json_out = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--transport" => opts.transport = value("--transport")?.parse()?,
+            "--listen" => opts.listen = Some(value("--listen")?),
+            "--checkpoint-dir" => opts.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--attach" => opts.attach = true,
+            "--workers" => {
+                let w: usize = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+                if w == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                opts.workers = Some(w);
+            }
+            "--queue-depth" => {
+                let d: usize = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-depth: {e}"))?;
+                if d == 0 {
+                    return Err("--queue-depth must be at least 1".into());
+                }
+                opts.queue_depth = Some(d);
+            }
+            "--max-k" => {
+                opts.max_k = Some(
+                    value("--max-k")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-k: {e}"))?,
+                )
+            }
+            "--max-steps" => {
+                opts.max_steps = Some(
+                    value("--max-steps")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-steps: {e}"))?,
+                )
+            }
+            "--queue-deadline-ms" => {
+                opts.queue_deadline_ms = Some(
+                    value("--queue-deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --queue-deadline-ms: {e}"))?,
+                )
+            }
+            "--max-requests" => {
+                opts.max_requests = Some(
+                    value("--max-requests")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-requests: {e}"))?,
+                )
+            }
+            "--seed" => {
+                opts.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?,
+                )
+            }
+            "--json" => json_out = Some(value("--json")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok((opts, json_out))
+}
+
+fn parse_adapt_flags(args: &[String]) -> Result<(AdaptOptions, Option<String>), String> {
+    let mut opts = AdaptOptions {
+        transport: fml_cli::TransportKind::Tcp,
+        ..AdaptOptions::default()
+    };
+    let mut json_out = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--transport" => opts.transport = value("--transport")?.parse()?,
+            "--connect" => opts.connect = Some(value("--connect")?),
+            "--target" => {
+                opts.target = value("--target")?
+                    .parse()
+                    .map_err(|e| format!("bad --target: {e}"))?
+            }
+            "--k" => {
+                let k: usize = value("--k")?
+                    .parse()
+                    .map_err(|e| format!("bad --k: {e}"))?;
+                if k == 0 {
+                    return Err("--k must be at least 1".into());
+                }
+                opts.k = Some(k);
+            }
+            "--steps" => {
+                opts.steps = Some(
+                    value("--steps")?
+                        .parse()
+                        .map_err(|e| format!("bad --steps: {e}"))?,
+                )
+            }
+            "--alpha" => {
+                let a: f64 = value("--alpha")?
+                    .parse()
+                    .map_err(|e| format!("bad --alpha: {e}"))?;
+                if !a.is_finite() {
+                    return Err("--alpha must be finite".into());
+                }
+                opts.alpha = Some(a);
+            }
+            "--offline" => opts.offline = true,
+            "--checkpoint-dir" => opts.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--seed" => {
+                opts.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?,
+                )
+            }
+            "--timeout-ms" => {
+                opts.timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --timeout-ms: {e}"))?
+            }
+            "--json" => json_out = Some(value("--json")?),
             other => return Err(format!("unknown flag {other}")),
         }
     }

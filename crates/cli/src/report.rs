@@ -96,6 +96,10 @@ pub struct RuntimeSummary {
     /// First round executed after resuming from a disk checkpoint.
     #[serde(default)]
     pub resumed_at_round: Option<usize>,
+    /// Frame-pool counters at the end of the run (hits, misses,
+    /// high-water; process-wide pool).
+    #[serde(default)]
+    pub pool: fml_runtime::PoolStatsReport,
 }
 
 impl RuntimeSummary {
@@ -120,7 +124,59 @@ impl RuntimeSummary {
             excluded_nodes: report.excluded_nodes.clone(),
             checkpoints_written: report.checkpoints_written,
             resumed_at_round: report.resumed_at_round,
+            pool: report.pool,
         }
+    }
+}
+
+/// One target-node adaptation round-trip (the `adapt` subcommand):
+/// what the service (or an offline checkpoint) personalized, and how
+/// much the query loss moved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptReport {
+    /// Target node id the support samples came from.
+    pub target: usize,
+    /// `"tcp"`, `"uds"`, or `"offline"` — where the adaptation ran.
+    pub source: String,
+    /// Support samples actually sent (after the split clamps K).
+    pub k: usize,
+    /// Gradient steps requested.
+    pub steps: usize,
+    /// Inner learning rate used.
+    pub alpha: f64,
+    /// Training round of the global that served the reply (absent in
+    /// offline mode when the checkpoint carries no round metadata).
+    pub global_round: Option<u32>,
+    /// Query loss under the global, before adaptation.
+    pub pre_loss: f64,
+    /// Query loss under the personalized parameters.
+    pub post_loss: f64,
+    /// Query accuracy before adaptation.
+    pub pre_accuracy: f64,
+    /// Query accuracy after adaptation.
+    pub post_accuracy: f64,
+    /// FNV-1a 64 digest of the personalized parameters' exact bits —
+    /// equal hashes ⇔ bitwise-identical adaptation, across processes.
+    pub param_hash: String,
+}
+
+impl fmt::Display for AdaptReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "adapt      target {} via {}, K = {}, {} steps @ alpha {}",
+            self.target, self.source, self.k, self.steps, self.alpha
+        )?;
+        if let Some(round) = self.global_round {
+            write!(f, ", global round {round}")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "           query loss {:.4} -> {:.4}, accuracy {:.3} -> {:.3}",
+            self.pre_loss, self.post_loss, self.pre_accuracy, self.post_accuracy
+        )?;
+        writeln!(f, "           param hash {}", self.param_hash)
     }
 }
 
@@ -253,6 +309,16 @@ impl fmt::Display for Report {
                 }
                 writeln!(f)?;
             }
+            if rt.pool.hits + rt.pool.misses > 0 {
+                writeln!(
+                    f,
+                    "           pool {:.0}% hit rate ({} hits / {} misses), high water {}",
+                    rt.pool.hit_rate * 100.0,
+                    rt.pool.hits,
+                    rt.pool.misses,
+                    rt.pool.high_water
+                )?;
+            }
         }
         writeln!(
             f,
@@ -374,6 +440,13 @@ mod tests {
             excluded_nodes: vec![2, 3],
             checkpoints_written: 4,
             resumed_at_round: Some(5),
+            pool: fml_runtime::PoolStatsReport {
+                hits: 75,
+                misses: 25,
+                returns: 90,
+                high_water: 8,
+                hit_rate: 0.75,
+            },
         });
         let text = r.to_string();
         assert!(text.contains("runtime    async mode over tcp"));
@@ -381,9 +454,40 @@ mod tests {
         assert!(text.contains("staleness s0:90 s1:15 s2:5"));
         assert!(text.contains("recovery 1 cycles, 1 rollbacks, excluded [2 3]"));
         assert!(text.contains("4 checkpoints, resumed at round 5"));
+        assert!(text.contains("pool 75% hit rate (75 hits / 25 misses), high water 8"));
         let json = serde_json::to_string(&r).unwrap();
         let back: Report = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn adapt_report_displays_and_roundtrips() {
+        let r = AdaptReport {
+            target: 3,
+            source: "tcp".into(),
+            k: 5,
+            steps: 10,
+            alpha: 0.05,
+            global_round: Some(12),
+            pre_loss: 1.4321,
+            post_loss: 0.8765,
+            pre_accuracy: 0.31,
+            post_accuracy: 0.72,
+            param_hash: "00c0ffee00c0ffee".into(),
+        };
+        let text = r.to_string();
+        assert!(text.contains("target 3 via tcp"));
+        assert!(text.contains("global round 12"));
+        assert!(text.contains("loss 1.4321 -> 0.8765"));
+        assert!(text.contains("param hash 00c0ffee00c0ffee"));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AdaptReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+
+        let mut offline = r;
+        offline.source = "offline".into();
+        offline.global_round = None;
+        assert!(!offline.to_string().contains("global round"));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use fml_data::{NodeData, TaskSplit};
 use fml_dro::attack::{fgsm_batch, BoxConstraint};
-use fml_models::{Batch, Model};
+use fml_models::{Batch, Model, Workspace};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -24,6 +24,58 @@ use serde::{Deserialize, Serialize};
 /// local data — eq. 6 generalized to multiple steps.
 pub fn adapt(model: &dyn Model, theta: &[f64], data: &Batch, alpha: f64, steps: usize) -> Vec<f64> {
     crate::meta::inner_adapt(model, theta, data, alpha, steps)
+}
+
+/// Reusable scratch for [`adapt_into`]: a gradient buffer plus the
+/// model's own workspace. One per serving worker — requests then adapt
+/// with zero per-request heap allocation.
+#[derive(Debug)]
+pub struct AdaptScratch {
+    grad: Vec<f64>,
+    ws: Workspace,
+}
+
+impl AdaptScratch {
+    /// Builds scratch sized for `model`.
+    pub fn for_model(model: &dyn Model) -> Self {
+        AdaptScratch {
+            grad: vec![0.0; model.param_len()],
+            ws: model.workspace(),
+        }
+    }
+}
+
+/// [`adapt`] through caller-provided scratch: `out` is overwritten with
+/// the adapted parameters φ, reusing its capacity. Produces bitwise
+/// exactly the same values as [`adapt`] — `grad_into` is contractually
+/// bit-identical to `grad`, and the update applies the same
+/// [`fml_linalg::vector::axpy`] in the same order.
+///
+/// # Panics
+///
+/// Panics when `theta.len() != model.param_len()` or `scratch` was built
+/// for a model with a different parameter count.
+pub fn adapt_into(
+    model: &dyn Model,
+    theta: &[f64],
+    data: &Batch,
+    alpha: f64,
+    steps: usize,
+    scratch: &mut AdaptScratch,
+    out: &mut Vec<f64>,
+) {
+    assert_eq!(theta.len(), model.param_len(), "adapt_into: theta length");
+    assert_eq!(
+        scratch.grad.len(),
+        model.param_len(),
+        "adapt_into: scratch built for a different model"
+    );
+    out.clear();
+    out.extend_from_slice(theta);
+    for _ in 0..steps {
+        model.grad_into(out, data, &mut scratch.ws, &mut scratch.grad);
+        fml_linalg::vector::axpy(-alpha, &scratch.grad, out);
+    }
 }
 
 /// One point of an adaptation curve.
@@ -283,5 +335,64 @@ mod tests {
         let theta = vec![0.0; model.param_len()];
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         evaluate_targets(&model, &theta, &[], 5, 0.1, 1, &mut rng);
+    }
+
+    #[test]
+    fn adapt_into_reuses_capacity_across_requests() {
+        let model = SoftmaxRegression::new(2, 2);
+        let theta = vec![0.1; model.param_len()];
+        let nodes = target_nodes(7, 2);
+        let mut scratch = AdaptScratch::for_model(&model);
+        let mut out = Vec::with_capacity(model.param_len());
+        let ptr = out.as_ptr();
+        for node in &nodes {
+            adapt_into(&model, &theta, &node.batch, 0.2, 3, &mut scratch, &mut out);
+            assert_eq!(out, adapt(&model, &theta, &node.batch, 0.2, 3));
+        }
+        assert!(std::ptr::eq(ptr, out.as_ptr()), "no reallocation");
+    }
+
+    #[test]
+    #[should_panic(expected = "different model")]
+    fn adapt_into_rejects_mismatched_scratch() {
+        let small = SoftmaxRegression::new(2, 2);
+        let big = SoftmaxRegression::new(3, 4);
+        let theta = vec![0.0; big.param_len()];
+        let nodes = target_nodes(0, 1);
+        let mut scratch = AdaptScratch::for_model(&small);
+        let mut out = Vec::new();
+        adapt_into(&big, &theta, &nodes[0].batch, 0.1, 1, &mut scratch, &mut out);
+    }
+
+    mod adapt_into_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_adapt_into_bitwise_matches_adapt(
+                seed in 0u64..500,
+                alpha in 0.001f64..1.0,
+                steps in 0usize..8,
+                scale in -2.0f64..2.0,
+            ) {
+                // The serving hot path must produce the exact floats the
+                // offline entry point does — this is what makes served
+                // parity hashes meaningful.
+                let model = SoftmaxRegression::new(2, 2);
+                let theta: Vec<f64> = (0..model.param_len())
+                    .map(|i| scale * ((seed as f64) + i as f64).sin())
+                    .collect();
+                let nodes = target_nodes(seed, 1);
+                let baseline = adapt(&model, &theta, &nodes[0].batch, alpha, steps);
+                let mut scratch = AdaptScratch::for_model(&model);
+                let mut out = vec![f64::NAN; 3]; // stale garbage must not leak
+                adapt_into(&model, &theta, &nodes[0].batch, alpha, steps, &mut scratch, &mut out);
+                prop_assert_eq!(
+                    out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    baseline.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+            }
+        }
     }
 }

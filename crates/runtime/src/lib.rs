@@ -39,6 +39,12 @@
 //! connected link, and socket deadlines derive from the gather policy
 //! so a dead peer degrades the round instead of hanging it.
 //!
+//! After training, the [`serving`] module keeps the meta-trained global
+//! useful: [`AdaptServer`] answers `Adapt(K samples)` requests over the
+//! same transport seam — loading a checkpoint or hot-swapping the live
+//! global from a co-resident platform via [`SharedGlobal`] — with a
+//! bounded worker pool that sheds overload as typed busy rejects.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -74,13 +80,18 @@ mod hub;
 pub mod platform;
 pub mod report;
 mod schedule;
+pub mod serving;
 pub mod transport;
 
 pub use clock::VirtualClock;
 pub use config::{AsyncPolicy, CheckpointConfig, Mode, RecoveryConfig, RuntimeConfig};
 pub use health::{HealthPolicy, HealthTracker, NodeHealth, NodeHealthReport};
 pub use platform::{Runtime, RuntimeOutput};
-pub use report::{param_hash, NodeIo, RuntimeReport};
+pub use report::{param_hash, NodeIo, PoolStatsReport, RuntimeReport};
+pub use serving::{
+    AdaptClient, AdaptOutcome, AdaptServer, GlobalSnapshot, ServingConfig, ServingReport,
+    SharedGlobal,
+};
 pub use transport::{
     ChannelTransport, FaultyTransport, LinkFaultPlan, TcpTransport, TcpTransportListener,
     Transport, TransportError, TransportListener, UnixTransport, UnixTransportListener,

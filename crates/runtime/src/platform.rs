@@ -59,10 +59,11 @@ use crate::config::{AsyncPolicy, Mode, RuntimeConfig};
 use crate::health::HealthTracker;
 use crate::hub::Hub;
 use crate::report::{NodeIo, RuntimeReport};
+use crate::serving::SharedGlobal;
 use crate::transport::{channel_fleet, Transport, TransportError, TransportListener};
 
 /// File name the platform checkpoints into (inside `--checkpoint-dir`).
-const CHECKPOINT_FILE: &str = "latest.json";
+pub(crate) const CHECKPOINT_FILE: &str = "latest.json";
 
 /// How often a collecting platform, while waiting between frames,
 /// checks for peers that reconnected mid-round and retransmits the
@@ -78,6 +79,12 @@ const REJOIN_TICK: Duration = Duration::from_millis(100);
 #[derive(Debug, Clone)]
 pub struct Runtime {
     cfg: RuntimeConfig,
+    /// Live hand-off target for the adaptation service: when set, the
+    /// platform publishes the global here after every completed round,
+    /// so a co-resident [`crate::serving::AdaptServer`] hot-swaps to the
+    /// freshest meta-trained parameters without any checkpoint round
+    /// trip.
+    publisher: Option<SharedGlobal>,
 }
 
 /// A finished run: the training output (same shape as `train_from`)
@@ -105,7 +112,20 @@ struct Pending {
 impl Runtime {
     /// Creates a runtime with the given configuration.
     pub fn new(cfg: RuntimeConfig) -> Self {
-        Runtime { cfg }
+        Runtime {
+            cfg,
+            publisher: None,
+        }
+    }
+
+    /// Publishes the global into `shared` after every completed round
+    /// (and once at startup, before round 1), so an
+    /// [`crate::serving::AdaptServer`] holding the same handle serves
+    /// adaptation requests against the live training run.
+    #[must_use]
+    pub fn with_publisher(mut self, shared: SharedGlobal) -> Self {
+        self.publisher = Some(shared);
+        self
     }
 
     /// Borrow of the configuration.
@@ -203,6 +223,7 @@ impl Runtime {
                 recoveries: 0,
                 resent: 0,
                 pool: FramePool::global().handle(),
+                publisher: self.publisher.clone(),
             };
             let params = match self.cfg.mode {
                 Mode::Barrier => platform.run_barrier(theta0),
@@ -320,6 +341,7 @@ impl Runtime {
             recoveries: 0,
             resent: 0,
             pool: FramePool::global().handle(),
+            publisher: self.publisher.clone(),
         };
         let params = match self.cfg.mode {
             Mode::Barrier => platform.run_barrier(theta0),
@@ -444,6 +466,9 @@ struct Platform<'a> {
     /// the hub via [`FramePool::global`], so a broadcast buffer released
     /// by whichever side drops the last handle serves the next round).
     pool: FramePool,
+    /// Where completed-round globals are handed off to a co-resident
+    /// adaptation server, when one is attached.
+    publisher: Option<SharedGlobal>,
 }
 
 impl Platform<'_> {
@@ -523,6 +548,16 @@ impl Platform<'_> {
             .with_meta("health", self.health.to_meta());
         if ck.save_atomic(dir.join(CHECKPOINT_FILE)).is_ok() {
             self.report.checkpoints_written += 1;
+        }
+    }
+
+    /// Hands the current global off to an attached adaptation server.
+    /// `round` is the last *completed* round (0 before any round ran).
+    /// The publish is a short write-lock swap: requests in flight keep
+    /// adapting from the snapshot they already hold.
+    fn publish_global(&self, round: usize, global: &[f64]) {
+        if let Some(shared) = &self.publisher {
+            shared.publish(round as u32, global);
         }
     }
 
@@ -731,6 +766,9 @@ impl Platform<'_> {
             && self.cfg.gather == fml_core::GatherPolicy::default();
         let mut global = theta0.to_vec();
         let start = self.resume_state(&mut global);
+        // An attached adaptation server can serve from the initial (or
+        // resumed) global before round 1 even completes.
+        self.publish_global(start - 1, &global);
         let mut eval_params = global.clone();
         // The last good global: what a rollback restores. Updated after
         // every completed round, exactly like `fml_core::ft`'s
@@ -778,6 +816,7 @@ impl Platform<'_> {
                 self.count_fresh_accepts(self.n as u64);
                 self.push_trace(round, delivered, bytes, comm_time_s);
                 snapshot.clone_from(&global);
+                self.publish_global(round, &global);
                 self.maybe_checkpoint(round, &global);
                 round += 1;
                 continue;
@@ -864,12 +903,14 @@ impl Platform<'_> {
             eval_params.clone_from(&global);
             self.push_trace(round, delivered, bytes, comm_time_s);
             snapshot.clone_from(&global);
+            self.publish_global(round, &global);
             self.maybe_checkpoint(round, &global);
             recovered_this_round = false;
             round += 1;
         }
         self.report.node_health = self.health.summaries();
         self.report.excluded_nodes = self.health.excluded_nodes();
+        self.report.pool = self.pool.stats().into();
         eval_params
     }
 
@@ -877,6 +918,7 @@ impl Platform<'_> {
     fn run_async(&mut self, theta0: &[f64], policy: &AsyncPolicy) -> Vec<f64> {
         let mut global = theta0.to_vec();
         let start = self.resume_state(&mut global);
+        self.publish_global(start - 1, &global);
         let mut pending: Vec<Pending> = Vec::new();
         let round_s = self.cfg.round_duration_s;
 
@@ -978,6 +1020,7 @@ impl Platform<'_> {
                 degraded,
             });
             self.push_trace(round, delivered, bytes, comm_time_s);
+            self.publish_global(round, &global);
             self.maybe_checkpoint(round, &global);
         }
 
@@ -985,6 +1028,7 @@ impl Platform<'_> {
         self.report.undelivered += pending.len() as u64;
         self.report.node_health = self.health.summaries();
         self.report.excluded_nodes = self.health.excluded_nodes();
+        self.report.pool = self.pool.stats().into();
         global
     }
 }

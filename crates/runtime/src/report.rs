@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use fml_sim::TraceLog;
+use fml_sim::{PoolStats, TraceLog};
 
 use crate::health::NodeHealthReport;
 
@@ -94,8 +94,42 @@ pub struct RuntimeReport {
     /// actually executed.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub resumed_at_round: Option<usize>,
+    /// Frame-pool counters at the end of the run. The pool is shared
+    /// process-wide ([`fml_sim::FramePool::global`]), so these reflect
+    /// every pooled encode/recycle in the process, not just this run's.
+    #[serde(default)]
+    pub pool: PoolStatsReport,
     /// Per-round trace in `fml-sim`'s flight-recorder format.
     pub trace: TraceLog,
+}
+
+/// Serializable snapshot of [`fml_sim::PoolStats`]: how well the frame
+/// pool recycled buffers (acquire hits vs misses) and how much storage
+/// it held at peak.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PoolStatsReport {
+    /// Acquires served from a recycled buffer.
+    pub hits: u64,
+    /// Acquires that had to allocate fresh storage.
+    pub misses: u64,
+    /// Buffers returned to the pool for reuse.
+    pub returns: u64,
+    /// Peak buffers held across all shards.
+    pub high_water: u64,
+    /// `hits / (hits + misses)`, 0 when nothing was acquired.
+    pub hit_rate: f64,
+}
+
+impl From<PoolStats> for PoolStatsReport {
+    fn from(s: PoolStats) -> Self {
+        PoolStatsReport {
+            hits: s.hits as u64,
+            misses: s.misses as u64,
+            returns: s.returns as u64,
+            high_water: s.high_water as u64,
+            hit_rate: s.hit_rate(),
+        }
+    }
 }
 
 impl RuntimeReport {
@@ -192,6 +226,13 @@ mod tests {
             node_health: Vec::new(),
             checkpoints_written: 2,
             resumed_at_round: None,
+            pool: PoolStatsReport {
+                hits: 90,
+                misses: 10,
+                returns: 95,
+                high_water: 6,
+                hit_rate: 0.9,
+            },
             trace: TraceLog::new(),
         }
     }
@@ -238,6 +279,16 @@ mod tests {
         assert!(r.node_health.is_empty());
         assert_eq!(r.checkpoints_written, 0);
         assert_eq!(r.resumed_at_round, None);
+        // PR-8 pool stats default too.
+        assert_eq!(r.pool, PoolStatsReport::default());
+    }
+
+    #[test]
+    fn pool_stats_convert_losslessly() {
+        let s = fml_sim::FramePool::new().stats();
+        let rep = PoolStatsReport::from(s);
+        assert_eq!(rep.hits, 0);
+        assert_eq!(rep.hit_rate, 0.0);
     }
 
     #[test]

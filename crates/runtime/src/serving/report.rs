@@ -1,0 +1,322 @@
+//! Serving observability: the counters an operator needs to tell "the
+//! service is keeping up" from "the service is shedding" — QPS, a
+//! per-request latency histogram, bytes in/out, rejection taxonomy,
+//! which global round answered each reply, and frame-pool hit rates.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::PoolStatsReport;
+
+/// Number of power-of-two latency buckets: bucket `i` counts requests
+/// that finished in `[2^(i-1), 2^i)` microseconds (bucket 0 is `<1µs`),
+/// so the histogram spans sub-microsecond to ~35 minutes.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Lock-free power-of-two latency histogram, recorded in microseconds.
+/// Writers `fetch_add` one bucket per request; percentile reads happen
+/// only at report time.
+#[derive(Debug)]
+pub(crate) struct LatencyRecorder {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    max_us: AtomicU64,
+}
+
+impl LatencyRecorder {
+    pub(crate) fn new() -> Self {
+        LatencyRecorder {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one request that took `us` microseconds.
+    pub(crate) fn record(&self, us: u64) {
+        let idx = (64 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot for reporting (the histogram keeps
+    /// moving under load; each bucket is read once).
+    pub(crate) fn snapshot(&self) -> LatencyReport {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        LatencyReport {
+            p50_us: percentile(&buckets, 0.50),
+            p90_us: percentile(&buckets, 0.90),
+            p99_us: percentile(&buckets, 0.99),
+            max_us: self.max_us.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Upper bound in microseconds of histogram bucket `idx`.
+fn bucket_bound_us(idx: usize) -> u64 {
+    1u64 << idx
+}
+
+/// The smallest bucket upper bound below which at least fraction `p` of
+/// the recorded requests finished. 0 when nothing was recorded.
+fn percentile(buckets: &[u64], p: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = (p * total as f64).ceil() as u64;
+    let mut seen = 0u64;
+    for (idx, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return bucket_bound_us(idx);
+        }
+    }
+    bucket_bound_us(buckets.len() - 1)
+}
+
+/// Latency summary derived from the power-of-two histogram. Percentiles
+/// are bucket upper bounds (conservative: the true percentile is at
+/// most the reported value).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// Median request latency bound, microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile bound, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile bound, microseconds.
+    pub p99_us: u64,
+    /// Exact slowest request, microseconds.
+    pub max_us: u64,
+    /// Raw bucket counts; bucket `i` spans `[2^(i-1), 2^i)` µs.
+    pub buckets: Vec<u64>,
+}
+
+/// How many replies a given global round served — the hot-swap audit
+/// trail: a live-attached server's distribution shifts to newer rounds
+/// as training progresses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundServed {
+    /// Training round of the global snapshot.
+    pub round: u32,
+    /// Replies adapted from that snapshot.
+    pub count: u64,
+}
+
+/// What the adaptation service observed over its lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Transport family the listener used: `"channel"`, `"tcp"`, `"uds"`.
+    pub transport: String,
+    /// Worker threads in the adaptation pool.
+    pub workers: usize,
+    /// Well-formed adaptation requests received.
+    pub requests: u64,
+    /// Successful parameter replies sent.
+    pub responses: u64,
+    /// Requests shed with a busy reject: queue full at arrival, or
+    /// queue-wait deadline exceeded by the time a worker picked it up.
+    pub shed_busy: u64,
+    /// Requests rejected because no global model was available.
+    pub rejected_unavailable: u64,
+    /// Requests rejected for violating the per-request budget or
+    /// carrying unusable samples.
+    pub rejected_bad: u64,
+    /// Frames that failed adaptation-frame parsing.
+    pub decode_errors: u64,
+    /// Replies lost to a dead client link after compute finished.
+    pub dropped_replies: u64,
+    /// Bytes of frames received.
+    pub bytes_in: u64,
+    /// Bytes of reply frames sent (responses and rejects).
+    pub bytes_out: u64,
+    /// Wall-clock seconds the server was up.
+    pub elapsed_s: f64,
+    /// Successful replies per second of uptime.
+    pub qps: f64,
+    /// Per-request latency (receive-to-reply), microsecond histogram.
+    pub latency: LatencyReport,
+    /// Replies per global round, ascending by round.
+    pub served_rounds: Vec<RoundServed>,
+    /// Frame-pool counters at report time (process-wide pool).
+    pub pool: PoolStatsReport,
+}
+
+impl ServingReport {
+    /// Requests refused for any reason (shed + unavailable + bad).
+    pub fn rejected_total(&self) -> u64 {
+        self.shed_busy + self.rejected_unavailable + self.rejected_bad
+    }
+
+    /// Mean reply payload cost: bytes out per successful response.
+    pub fn bytes_per_response(&self) -> f64 {
+        if self.responses == 0 {
+            0.0
+        } else {
+            self.bytes_out as f64 / self.responses as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ServingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "serving    {} workers over {}, {:.1}s up",
+            self.workers, self.transport, self.elapsed_s
+        )?;
+        writeln!(
+            f,
+            "traffic    {} requests, {} responses ({:.1} qps), {} B in / {} B out",
+            self.requests, self.responses, self.qps, self.bytes_in, self.bytes_out
+        )?;
+        writeln!(
+            f,
+            "latency    p50 ≤ {}µs, p90 ≤ {}µs, p99 ≤ {}µs, max {}µs",
+            self.latency.p50_us, self.latency.p90_us, self.latency.p99_us, self.latency.max_us
+        )?;
+        writeln!(
+            f,
+            "rejects    {} busy, {} unavailable, {} bad, {} undecodable, {} replies dropped",
+            self.shed_busy,
+            self.rejected_unavailable,
+            self.rejected_bad,
+            self.decode_errors,
+            self.dropped_replies
+        )?;
+        let rounds: Vec<String> = self
+            .served_rounds
+            .iter()
+            .map(|r| format!("r{}:{}", r.round, r.count))
+            .collect();
+        writeln!(
+            f,
+            "globals    {}",
+            if rounds.is_empty() {
+                "none served".to_string()
+            } else {
+                rounds.join(" ")
+            }
+        )?;
+        write!(
+            f,
+            "pool       {:.0}% hit rate ({} hits / {} misses), high water {}",
+            self.pool.hit_rate * 100.0,
+            self.pool.hits,
+            self.pool.misses,
+            self.pool.high_water
+        )
+    }
+}
+
+/// Shared mutable round-served tally (worker threads bump, report
+/// reads). A `Mutex<BTreeMap>` is fine here: one short lock per reply,
+/// far off the adapt compute path.
+#[derive(Debug, Default)]
+pub(crate) struct RoundTally {
+    counts: Mutex<BTreeMap<u32, u64>>,
+}
+
+impl RoundTally {
+    pub(crate) fn bump(&self, round: u32) {
+        *self
+            .counts
+            .lock()
+            .expect("round tally poisoned")
+            .entry(round)
+            .or_insert(0) += 1;
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<RoundServed> {
+        self.counts
+            .lock()
+            .expect("round tally poisoned")
+            .iter()
+            .map(|(&round, &count)| RoundServed { round, count })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles_are_bucket_bounds() {
+        let rec = LatencyRecorder::new();
+        for us in [0u64, 1, 1, 3, 3, 3, 3, 100, 100, 5000] {
+            rec.record(us);
+        }
+        let lat = rec.snapshot();
+        assert_eq!(lat.max_us, 5000);
+        // 10 samples: p50 rank 5 falls in the [2,4)µs bucket → bound 4.
+        assert_eq!(lat.p50_us, 4);
+        assert!(lat.p99_us >= lat.p90_us && lat.p90_us >= lat.p50_us);
+        assert_eq!(lat.buckets.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let lat = LatencyRecorder::new().snapshot();
+        assert_eq!(lat.p50_us, 0);
+        assert_eq!(lat.p99_us, 0);
+        assert_eq!(lat.max_us, 0);
+    }
+
+    #[test]
+    fn huge_latency_clamps_to_last_bucket() {
+        let rec = LatencyRecorder::new();
+        rec.record(u64::MAX);
+        let lat = rec.snapshot();
+        assert_eq!(lat.buckets[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(lat.max_us, u64::MAX);
+    }
+
+    #[test]
+    fn round_tally_sorted_ascending() {
+        let tally = RoundTally::default();
+        tally.bump(3);
+        tally.bump(1);
+        tally.bump(3);
+        let snap = tally.snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                RoundServed { round: 1, count: 1 },
+                RoundServed { round: 3, count: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn report_roundtrips_through_json_and_displays() {
+        let rep = ServingReport {
+            transport: "tcp".into(),
+            workers: 2,
+            requests: 10,
+            responses: 8,
+            shed_busy: 1,
+            rejected_bad: 1,
+            bytes_in: 4000,
+            bytes_out: 3000,
+            elapsed_s: 2.0,
+            qps: 4.0,
+            served_rounds: vec![RoundServed { round: 3, count: 8 }],
+            ..ServingReport::default()
+        };
+        let json = serde_json::to_string(&rep).unwrap();
+        let back: ServingReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rep);
+        assert_eq!(rep.rejected_total(), 2);
+        assert_eq!(rep.bytes_per_response(), 375.0);
+        let shown = rep.to_string();
+        assert!(shown.contains("8 responses"));
+        assert!(shown.contains("r3:8"));
+    }
+}

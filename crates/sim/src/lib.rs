@@ -38,7 +38,10 @@ pub mod trace;
 pub use adaptive::{run_adaptive_fedml, AdaptiveOutput, AdaptiveT0Config};
 pub use energy::{EnergyModel, EnergyStats};
 pub use framing::{prefix_frame, FrameBuffer, FrameError, LENGTH_PREFIX_LEN, MAX_FRAME_LEN};
-pub use message::{Message, MessageView, PROTOCOL_VERSION};
+pub use message::{
+    AdaptFrame, AdaptReject, AdaptRequest, AdaptResponse, Message, MessageView, RejectReason,
+    SampleKind, ADAPT_MIN_VERSION, PROTOCOL_VERSION,
+};
 pub use pool::{FramePool, PoolStats};
 pub use network::{LinkModel, Network, IDEAL_BANDWIDTH_BPS};
 pub use runner::{EdgeProfile, SimConfig, SimOutput, SimRunner, DERIVED_DEADLINE_HEADROOM};

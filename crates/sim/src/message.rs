@@ -17,9 +17,26 @@
 //! frame from a legacy (v0) frame by inspecting the first byte alone.
 //! Legacy frames start directly at the tag byte and are still accepted:
 //! an absent version byte means v0. Encoders emit
-//! [`PROTOCOL_VERSION`]; decoders accept v0 and v1 (the layouts are
-//! identical after the version byte) and reject anything newer with
+//! [`PROTOCOL_VERSION`]; decoders accept every older version back to v0
+//! (the training-frame layout is identical after the version byte in
+//! all of them) and reject anything newer with
 //! [`DecodeError::UnsupportedVersion`].
+//!
+//! # Protocol v2: adaptation frames
+//!
+//! v2 keeps the training frames (tags 1–2) byte-for-byte and adds three
+//! request/response tags for the target-node adaptation service:
+//! [`AdaptRequest`] (tag 3), [`AdaptResponse`] (tag 4) and
+//! [`AdaptReject`] (tag 5). Adaptation frames reuse the exact physical
+//! shape above — two u32 header slots and an all-`f64` payload — so the
+//! length-prefixed framing layer, the frame pool, and every transport
+//! carry them unchanged. They are parsed by [`AdaptFrame::parse`], a
+//! zero-copy view kept deliberately separate from [`MessageView`]: a
+//! training endpoint fed an adaptation frame (or vice versa) reports
+//! [`DecodeError::UnknownTag`] instead of misinterpreting it. Because
+//! the tags were introduced in v2 there are no legacy adaptation
+//! frames: [`AdaptFrame::parse`] requires an explicit version byte of
+//! at least [`ADAPT_MIN_VERSION`].
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -29,7 +46,12 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 pub const HEADER_LEN: usize = 1 + 4 + 4 + 4;
 
 /// Protocol version emitted by [`Message::encode`].
-pub const PROTOCOL_VERSION: u8 = 1;
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// Oldest protocol version that carries adaptation frames. Requests,
+/// responses and rejects below this version do not exist on the wire
+/// and are rejected by [`AdaptFrame::parse`].
+pub const ADAPT_MIN_VERSION: u8 = 2;
 
 /// High bit marking the first byte of a frame as a version byte rather
 /// than a (legacy, v0) tag byte.
@@ -37,6 +59,14 @@ const VERSION_MARKER: u8 = 0x80;
 
 const TAG_GLOBAL: u8 = 1;
 const TAG_UPDATE: u8 = 2;
+const TAG_ADAPT_REQUEST: u8 = 3;
+const TAG_ADAPT_RESPONSE: u8 = 4;
+const TAG_ADAPT_REJECT: u8 = 5;
+
+/// Count of leading `f64` slots in an [`AdaptRequest`] payload that
+/// describe the sample block (`alpha`, `steps`, `k`, `dim`, label
+/// kind) before the flattened samples themselves.
+const ADAPT_REQUEST_PREFIX: usize = 5;
 
 /// A message on the platform⇄edge link.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +107,10 @@ pub enum DecodeError {
     /// The frame declares a protocol version this decoder does not
     /// understand (newer than [`PROTOCOL_VERSION`]).
     UnsupportedVersion(u8),
+    /// The frame is structurally sound but a payload field is
+    /// internally inconsistent (e.g. an adaptation request whose
+    /// declared sample counts disagree with the payload length).
+    Malformed(&'static str),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -93,6 +127,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::UnsupportedVersion(v) => {
                 write!(f, "unsupported protocol version {v}")
             }
+            DecodeError::Malformed(why) => write!(f, "malformed frame: {why}"),
         }
     }
 }
@@ -372,6 +407,576 @@ impl<'a> MessageView<'a> {
             },
             t => unreachable!("tag {t} validated by parse"),
         }
+    }
+}
+
+/// Kind of label carried by the samples in an [`AdaptRequest`]:
+/// classification targets (class indices encoded as integral `f64`s) or
+/// regression targets (arbitrary finite `f64`s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleKind {
+    /// Classification: each label is a non-negative integral class index.
+    Class,
+    /// Regression: each label is a real-valued target.
+    Value,
+}
+
+impl SampleKind {
+    /// Wire code for this kind (the fifth prefix slot of a request).
+    pub fn code(self) -> f64 {
+        match self {
+            SampleKind::Class => 0.0,
+            SampleKind::Value => 1.0,
+        }
+    }
+
+    fn from_code(code: f64) -> Result<Self, DecodeError> {
+        if code == 0.0 {
+            Ok(SampleKind::Class)
+        } else if code == 1.0 {
+            Ok(SampleKind::Value)
+        } else {
+            Err(DecodeError::Malformed("unknown sample-kind code"))
+        }
+    }
+}
+
+/// Why the adaptation service rejected a request. Carried in the node
+/// slot of a tag-5 frame so clients can tell transient overload (retry
+/// later) from permanent refusal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The server's bounded queue was full or the request waited past
+    /// its deadline: shed under overload, safe to retry after backoff.
+    Busy,
+    /// The server holds no global model yet (attached platform has not
+    /// finished a round, or no checkpoint was loaded).
+    Unavailable,
+    /// The request violated the server's budget (k or steps over the
+    /// cap, dimension mismatch, bad labels). Retrying will not help.
+    BadRequest,
+}
+
+impl RejectReason {
+    /// Wire code (node-slot value of a reject frame).
+    pub fn code(self) -> u32 {
+        match self {
+            RejectReason::Busy => 1,
+            RejectReason::Unavailable => 2,
+            RejectReason::BadRequest => 3,
+        }
+    }
+
+    fn from_code(code: u32) -> Result<Self, DecodeError> {
+        match code {
+            1 => Ok(RejectReason::Busy),
+            2 => Ok(RejectReason::Unavailable),
+            3 => Ok(RejectReason::BadRequest),
+            _ => Err(DecodeError::Malformed("unknown reject-reason code")),
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::Busy => write!(f, "busy"),
+            RejectReason::Unavailable => write!(f, "unavailable"),
+            RejectReason::BadRequest => write!(f, "bad request"),
+        }
+    }
+}
+
+/// A target node's adaptation request: "here are my `K` support
+/// samples, run `steps` gradient steps at rate `alpha` from the current
+/// global and send me the personalized parameters" (eq. 6 of the
+/// paper, as a wire message).
+///
+/// Wire layout (tag 3): the round slot carries `req_id`, the node slot
+/// carries `node`, and the payload is
+/// `[alpha, steps, k, dim, kind, xs (k·dim, row-major), ys (k)]` — all
+/// `f64`, so the frame is physically identical to a training frame and
+/// rides the pooled zero-copy path unchanged. The integer fields are
+/// exactly representable (they are bounded by `u32::MAX`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptRequest {
+    /// Client-chosen correlation id echoed back in the response.
+    pub req_id: u32,
+    /// Requesting target-node id (diagnostic; not used for routing).
+    pub node: u32,
+    /// Adaptation learning rate α.
+    pub alpha: f64,
+    /// Number of inner gradient steps.
+    pub steps: u32,
+    /// Feature dimension of each sample.
+    pub dim: u32,
+    /// Label kind of `ys`.
+    pub kind: SampleKind,
+    /// Flattened support features, row-major, `k · dim` values.
+    pub xs: Vec<f64>,
+    /// Support labels, `k` values.
+    pub ys: Vec<f64>,
+}
+
+impl AdaptRequest {
+    /// Number of support samples `K` (derived from the label vector).
+    pub fn k(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// Serialized size in bytes of this request's frame.
+    pub fn encoded_len(&self) -> usize {
+        encoded_adapt_request_len(self.k(), self.dim as usize)
+    }
+
+    /// Encodes into a fresh v2 frame. Thin wrapper over
+    /// [`encode_adapt_request_into`]; hot paths reuse a pooled buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != k · dim` — an inconsistent request must
+    /// never reach the wire.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        encode_adapt_request_into(self, &mut buf);
+        buf.freeze()
+    }
+
+    /// Decodes an owned request from a frame.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`AdaptFrame::parse`] reports, plus
+    /// [`DecodeError::UnknownTag`] when the frame is a response or
+    /// reject rather than a request.
+    pub fn decode(frame: &[u8]) -> Result<Self, DecodeError> {
+        match AdaptFrame::parse(frame)? {
+            AdaptFrame::Request(view) => Ok(view.to_request()),
+            AdaptFrame::Response(view) => Err(DecodeError::UnknownTag(view.tag())),
+            AdaptFrame::Reject(_) => Err(DecodeError::UnknownTag(TAG_ADAPT_REJECT)),
+        }
+    }
+}
+
+/// The service's reply to an [`AdaptRequest`]: the personalized
+/// parameters plus the training round of the global they were adapted
+/// from (tag 4; round slot = `global_round`, node slot = `req_id`,
+/// payload = `params`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptResponse {
+    /// Correlation id copied from the request.
+    pub req_id: u32,
+    /// Round of the global snapshot this reply was computed from.
+    pub global_round: u32,
+    /// Personalized parameters φ.
+    pub params: Vec<f64>,
+}
+
+impl AdaptResponse {
+    /// Serialized size in bytes of this response's frame.
+    pub fn encoded_len(&self) -> usize {
+        encoded_frame_len(self.params.len())
+    }
+
+    /// Encodes into a fresh v2 frame. Thin wrapper over
+    /// [`encode_adapt_response_into`].
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        encode_adapt_response_into(self.req_id, self.global_round, &self.params, &mut buf);
+        buf.freeze()
+    }
+
+    /// Decodes an owned response from a frame.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`AdaptFrame::parse`] reports, plus
+    /// [`DecodeError::UnknownTag`] when the frame is not a response.
+    pub fn decode(frame: &[u8]) -> Result<Self, DecodeError> {
+        match AdaptFrame::parse(frame)? {
+            AdaptFrame::Response(view) => Ok(view.to_response()),
+            AdaptFrame::Request(view) => Err(DecodeError::UnknownTag(view.tag())),
+            AdaptFrame::Reject(_) => Err(DecodeError::UnknownTag(TAG_ADAPT_REJECT)),
+        }
+    }
+}
+
+/// A typed refusal (tag 5; round slot = `req_id`, node slot = reason
+/// code, empty payload). Sent instead of a response so an overloaded
+/// server sheds work without stalling its accept loop or silently
+/// dropping the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptReject {
+    /// Correlation id copied from the request.
+    pub req_id: u32,
+    /// Why the request was refused.
+    pub reason: RejectReason,
+}
+
+impl AdaptReject {
+    /// Serialized size in bytes of a reject frame (always empty payload).
+    pub const fn encoded_len() -> usize {
+        encoded_frame_len(0)
+    }
+
+    /// Encodes into a fresh v2 frame. Thin wrapper over
+    /// [`encode_adapt_reject_into`].
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(Self::encoded_len());
+        encode_adapt_reject_into(self.req_id, self.reason, &mut buf);
+        buf.freeze()
+    }
+}
+
+/// Serialized size in bytes of an [`AdaptRequest`] frame carrying `k`
+/// samples of dimension `dim`.
+pub const fn encoded_adapt_request_len(k: usize, dim: usize) -> usize {
+    1 + HEADER_LEN + 8 * (ADAPT_REQUEST_PREFIX + k * dim + k)
+}
+
+/// Serialized size in bytes of an [`AdaptResponse`] frame carrying
+/// `param_count` parameters (same shape as a training frame).
+pub const fn encoded_adapt_response_len(param_count: usize) -> usize {
+    encoded_frame_len(param_count)
+}
+
+/// Appends a versioned [`AdaptRequest`] frame to `buf` — byte-identical
+/// to [`AdaptRequest::encode`], reusing `buf`'s capacity.
+///
+/// # Panics
+///
+/// Panics if `req.xs.len() != req.k() · req.dim`: the sample block
+/// would be unparseable, so the inconsistency is a caller bug.
+pub fn encode_adapt_request_into(req: &AdaptRequest, buf: &mut BytesMut) {
+    let k = req.k();
+    let dim = req.dim as usize;
+    assert_eq!(
+        req.xs.len(),
+        k * dim,
+        "AdaptRequest xs/ys shape mismatch: {} features for {k} samples of dim {dim}",
+        req.xs.len(),
+    );
+    let payload = ADAPT_REQUEST_PREFIX + k * dim + k;
+    buf.reserve(1 + HEADER_LEN + 8 * payload);
+    buf.put_u8(VERSION_MARKER | PROTOCOL_VERSION);
+    buf.put_u8(TAG_ADAPT_REQUEST);
+    buf.put_u32_le(req.req_id);
+    buf.put_u32_le(req.node);
+    buf.put_u32_le(payload as u32);
+    buf.put_f64_le(req.alpha);
+    buf.put_f64_le(req.steps as f64);
+    buf.put_f64_le(k as f64);
+    buf.put_f64_le(req.dim as f64);
+    buf.put_f64_le(req.kind.code());
+    for &x in &req.xs {
+        buf.put_f64_le(x);
+    }
+    for &y in &req.ys {
+        buf.put_f64_le(y);
+    }
+}
+
+/// Appends a versioned [`AdaptResponse`] frame to `buf` — byte-identical
+/// to [`AdaptResponse::encode`], reusing `buf`'s capacity. This is the
+/// serving hot path: a pooled buffer in, a refcounted frame out.
+pub fn encode_adapt_response_into(req_id: u32, global_round: u32, params: &[f64], buf: &mut BytesMut) {
+    buf.reserve(1 + HEADER_LEN + 8 * params.len());
+    buf.put_u8(VERSION_MARKER | PROTOCOL_VERSION);
+    buf.put_u8(TAG_ADAPT_RESPONSE);
+    buf.put_u32_le(global_round);
+    buf.put_u32_le(req_id);
+    buf.put_u32_le(params.len() as u32);
+    for &p in params {
+        buf.put_f64_le(p);
+    }
+}
+
+/// Appends a versioned [`AdaptReject`] frame to `buf` — byte-identical
+/// to [`AdaptReject::encode`], reusing `buf`'s capacity.
+pub fn encode_adapt_reject_into(req_id: u32, reason: RejectReason, buf: &mut BytesMut) {
+    buf.reserve(1 + HEADER_LEN);
+    buf.put_u8(VERSION_MARKER | PROTOCOL_VERSION);
+    buf.put_u8(TAG_ADAPT_REJECT);
+    buf.put_u32_le(req_id);
+    buf.put_u32_le(reason.code());
+    buf.put_u32_le(0);
+}
+
+/// Zero-copy view of an [`AdaptRequest`] frame: the prefix fields are
+/// parsed and validated eagerly, the flattened samples stay in the
+/// frame buffer and are read lazily.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptRequestView<'a> {
+    req_id: u32,
+    node: u32,
+    alpha: f64,
+    steps: u32,
+    k: u32,
+    dim: u32,
+    kind: SampleKind,
+    /// Raw little-endian sample block: `8 · (k·dim + k)` bytes.
+    samples: &'a [u8],
+}
+
+impl<'a> AdaptRequestView<'a> {
+    /// Correlation id echoed back in the reply.
+    pub fn req_id(&self) -> u32 {
+        self.req_id
+    }
+
+    /// Requesting node id.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Adaptation learning rate α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of inner gradient steps requested.
+    pub fn steps(&self) -> u32 {
+        self.steps
+    }
+
+    /// Number of support samples `K`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Feature dimension of each sample.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Label kind of the support labels.
+    pub fn kind(&self) -> SampleKind {
+        self.kind
+    }
+
+    fn tag(&self) -> u8 {
+        TAG_ADAPT_REQUEST
+    }
+
+    /// Lazily decodes the flattened features (`k · dim` values,
+    /// row-major) straight out of the frame buffer.
+    pub fn xs_iter(&self) -> impl ExactSizeIterator<Item = f64> + 'a {
+        let n = self.k as usize * self.dim as usize;
+        self.samples[..8 * n]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")))
+    }
+
+    /// Lazily decodes the `k` support labels.
+    pub fn ys_iter(&self) -> impl ExactSizeIterator<Item = f64> + 'a {
+        let n = self.k as usize * self.dim as usize;
+        self.samples[8 * n..]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")))
+    }
+
+    /// Materializes the whole frame as an owned [`AdaptRequest`].
+    pub fn to_request(&self) -> AdaptRequest {
+        AdaptRequest {
+            req_id: self.req_id,
+            node: self.node,
+            alpha: self.alpha,
+            steps: self.steps,
+            dim: self.dim,
+            kind: self.kind,
+            xs: self.xs_iter().collect(),
+            ys: self.ys_iter().collect(),
+        }
+    }
+}
+
+/// Zero-copy view of an [`AdaptResponse`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptResponseView<'a> {
+    req_id: u32,
+    global_round: u32,
+    /// Raw little-endian parameters, exactly `8 · len` bytes.
+    payload: &'a [u8],
+}
+
+impl<'a> AdaptResponseView<'a> {
+    /// Correlation id copied from the request.
+    pub fn req_id(&self) -> u32 {
+        self.req_id
+    }
+
+    /// Round of the global snapshot that served this reply.
+    pub fn global_round(&self) -> u32 {
+        self.global_round
+    }
+
+    /// Number of `f64` parameters in the payload.
+    pub fn len(&self) -> usize {
+        self.payload.len() / 8
+    }
+
+    /// Whether the payload carries no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    fn tag(&self) -> u8 {
+        TAG_ADAPT_RESPONSE
+    }
+
+    /// Lazily decodes the personalized parameters in wire order.
+    pub fn params_iter(&self) -> impl ExactSizeIterator<Item = f64> + 'a {
+        self.payload
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")))
+    }
+
+    /// Overwrites `out` with the parameters, reusing its capacity.
+    pub fn copy_params_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.len());
+        out.extend(self.params_iter());
+    }
+
+    /// Materializes the whole frame as an owned [`AdaptResponse`].
+    pub fn to_response(&self) -> AdaptResponse {
+        AdaptResponse {
+            req_id: self.req_id,
+            global_round: self.global_round,
+            params: self.params_iter().collect(),
+        }
+    }
+}
+
+/// A parsed v2 adaptation frame, borrowing its payload from the frame
+/// buffer — the serving-path counterpart of [`MessageView`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdaptFrame<'a> {
+    /// A target node's adaptation request (tag 3).
+    Request(AdaptRequestView<'a>),
+    /// The service's parameters reply (tag 4).
+    Response(AdaptResponseView<'a>),
+    /// A typed refusal (tag 5). Owned outright — it has no payload.
+    Reject(AdaptReject),
+}
+
+impl<'a> AdaptFrame<'a> {
+    /// Parses a v2 adaptation frame without copying the sample or
+    /// parameter payload.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnknownTag`] for training tags (and for legacy
+    /// unversioned frames, which predate adaptation),
+    /// [`DecodeError::UnsupportedVersion`] for versions outside
+    /// `ADAPT_MIN_VERSION..=PROTOCOL_VERSION`, [`DecodeError::Truncated`] /
+    /// [`DecodeError::LengthMismatch`] for structural damage, and
+    /// [`DecodeError::Malformed`] when a request's declared counts or
+    /// codes are inconsistent with its payload.
+    pub fn parse(mut frame: &'a [u8]) -> Result<AdaptFrame<'a>, DecodeError> {
+        match frame.first() {
+            None => return Err(DecodeError::Truncated),
+            Some(&first) if first & VERSION_MARKER != 0 => {
+                let version = first & !VERSION_MARKER;
+                if version < ADAPT_MIN_VERSION || version > PROTOCOL_VERSION {
+                    return Err(DecodeError::UnsupportedVersion(version));
+                }
+                frame = &frame[1..];
+            }
+            // Legacy v0 frames predate the adaptation tags: whatever the
+            // tag byte says, it is not an adaptation frame.
+            Some(&tag) => return Err(DecodeError::UnknownTag(tag)),
+        }
+        if frame.len() < HEADER_LEN {
+            return Err(DecodeError::Truncated);
+        }
+        let tag = frame.get_u8();
+        if tag != TAG_ADAPT_REQUEST && tag != TAG_ADAPT_RESPONSE && tag != TAG_ADAPT_REJECT {
+            return Err(DecodeError::UnknownTag(tag));
+        }
+        let slot_a = frame.get_u32_le();
+        let slot_b = frame.get_u32_le();
+        let len = frame.get_u32_le() as usize;
+        match 8usize.checked_mul(len) {
+            Some(expected) if expected == frame.len() => {}
+            expected => {
+                return Err(DecodeError::LengthMismatch {
+                    expected: expected.unwrap_or(usize::MAX),
+                    actual: frame.len(),
+                })
+            }
+        }
+        match tag {
+            TAG_ADAPT_REQUEST => {
+                if len < ADAPT_REQUEST_PREFIX {
+                    return Err(DecodeError::Malformed("request payload shorter than prefix"));
+                }
+                let read = |i: usize| {
+                    f64::from_le_bytes(
+                        frame[8 * i..8 * (i + 1)]
+                            .try_into()
+                            .expect("slice is 8 bytes"),
+                    )
+                };
+                let alpha = read(0);
+                if !alpha.is_finite() {
+                    return Err(DecodeError::Malformed("alpha is not finite"));
+                }
+                let steps = wire_u32(read(1), "steps is not an integral u32")?;
+                let k = wire_u32(read(2), "k is not an integral u32")?;
+                let dim = wire_u32(read(3), "dim is not an integral u32")?;
+                if k == 0 || dim == 0 {
+                    return Err(DecodeError::Malformed("k and dim must be positive"));
+                }
+                let kind = SampleKind::from_code(read(4))?;
+                let sample_slots = (k as usize)
+                    .checked_mul(dim as usize)
+                    .and_then(|xs| xs.checked_add(k as usize));
+                match sample_slots {
+                    Some(slots) if slots == len - ADAPT_REQUEST_PREFIX => {}
+                    _ => {
+                        return Err(DecodeError::Malformed(
+                            "sample counts disagree with payload length",
+                        ))
+                    }
+                }
+                Ok(AdaptFrame::Request(AdaptRequestView {
+                    req_id: slot_a,
+                    node: slot_b,
+                    alpha,
+                    steps,
+                    k,
+                    dim,
+                    kind,
+                    samples: &frame[8 * ADAPT_REQUEST_PREFIX..],
+                }))
+            }
+            TAG_ADAPT_RESPONSE => Ok(AdaptFrame::Response(AdaptResponseView {
+                global_round: slot_a,
+                req_id: slot_b,
+                payload: frame,
+            })),
+            _ => {
+                if len != 0 {
+                    return Err(DecodeError::Malformed("reject frames carry no payload"));
+                }
+                Ok(AdaptFrame::Reject(AdaptReject {
+                    req_id: slot_a,
+                    reason: RejectReason::from_code(slot_b)?,
+                }))
+            }
+        }
+    }
+}
+
+/// Validates that a wire `f64` is a finite, integral value in `u32`
+/// range — the encoding every integer field of an adaptation request
+/// uses (integers up to `u32::MAX` are exactly representable in `f64`).
+fn wire_u32(v: f64, why: &'static str) -> Result<u32, DecodeError> {
+    if v.is_finite() && v >= 0.0 && v <= u32::MAX as f64 && v.fract() == 0.0 {
+        Ok(v as u32)
+    } else {
+        Err(DecodeError::Malformed(why))
     }
 }
 
@@ -720,6 +1325,313 @@ mod tests {
             let v1 = m.encode();
             let v0 = m.encode_v0();
             prop_assert_eq!(&v1[1..], &v0[..]);
+        }
+    }
+
+    fn sample_request() -> AdaptRequest {
+        AdaptRequest {
+            req_id: 7,
+            node: 3,
+            alpha: 0.05,
+            steps: 4,
+            dim: 2,
+            kind: SampleKind::Class,
+            xs: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+            ys: vec![0.0, 1.0, 0.0],
+        }
+    }
+
+    #[test]
+    fn adapt_request_roundtrip() {
+        let req = sample_request();
+        let frame = req.encode();
+        assert_eq!(frame.len(), req.encoded_len());
+        assert_eq!(frame[0], 0x80 | PROTOCOL_VERSION);
+        assert_eq!(AdaptRequest::decode(&frame).unwrap(), req);
+        match AdaptFrame::parse(&frame).unwrap() {
+            AdaptFrame::Request(view) => {
+                assert_eq!(view.req_id(), 7);
+                assert_eq!(view.node(), 3);
+                assert_eq!(view.alpha(), 0.05);
+                assert_eq!(view.steps(), 4);
+                assert_eq!(view.k(), 3);
+                assert_eq!(view.dim(), 2);
+                assert_eq!(view.kind(), SampleKind::Class);
+                let xs: Vec<f64> = view.xs_iter().collect();
+                let ys: Vec<f64> = view.ys_iter().collect();
+                assert_eq!(xs, req.xs);
+                assert_eq!(ys, req.ys);
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adapt_response_roundtrip() {
+        let resp = AdaptResponse {
+            req_id: 11,
+            global_round: 42,
+            params: vec![1.5, -2.5, f64::MIN_POSITIVE],
+        };
+        let frame = resp.encode();
+        assert_eq!(frame.len(), resp.encoded_len());
+        assert_eq!(AdaptResponse::decode(&frame).unwrap(), resp);
+        match AdaptFrame::parse(&frame).unwrap() {
+            AdaptFrame::Response(view) => {
+                assert_eq!(view.req_id(), 11);
+                assert_eq!(view.global_round(), 42);
+                assert_eq!(view.len(), 3);
+                assert!(!view.is_empty());
+                let mut out = Vec::new();
+                view.copy_params_into(&mut out);
+                assert_eq!(out, resp.params);
+            }
+            other => panic!("expected response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adapt_reject_roundtrip() {
+        for reason in [
+            RejectReason::Busy,
+            RejectReason::Unavailable,
+            RejectReason::BadRequest,
+        ] {
+            let reject = AdaptReject { req_id: 9, reason };
+            let frame = reject.encode();
+            assert_eq!(frame.len(), AdaptReject::encoded_len());
+            assert_eq!(AdaptFrame::parse(&frame).unwrap(), AdaptFrame::Reject(reject));
+        }
+    }
+
+    #[test]
+    fn adapt_and_training_parsers_stay_separate() {
+        // A training endpoint fed an adaptation frame reports an unknown
+        // tag (it must not misread the sample block as parameters), and
+        // the adaptation parser refuses training frames symmetrically.
+        let req_frame = sample_request().encode();
+        assert_eq!(Message::decode(&req_frame), Err(DecodeError::UnknownTag(3)));
+        assert_eq!(
+            MessageView::parse(&req_frame).err(),
+            Some(DecodeError::UnknownTag(3))
+        );
+        let training = Message::GlobalModel {
+            round: 1,
+            params: vec![0.5],
+        }
+        .encode();
+        assert!(matches!(
+            AdaptFrame::parse(&training),
+            Err(DecodeError::UnknownTag(1))
+        ));
+    }
+
+    #[test]
+    fn adapt_frames_require_v2() {
+        // Tag 3 under a v1 version byte or in a legacy unversioned frame
+        // is not a valid adaptation frame: the tags were born in v2.
+        let mut frame = sample_request().encode().to_vec();
+        frame[0] = 0x80 | 1;
+        assert_eq!(
+            AdaptFrame::parse(&frame),
+            Err(DecodeError::UnsupportedVersion(1))
+        );
+        let unversioned = &frame[1..];
+        assert_eq!(
+            AdaptFrame::parse(unversioned),
+            Err(DecodeError::UnknownTag(3))
+        );
+        frame[0] = 0x80 | (PROTOCOL_VERSION + 1);
+        assert_eq!(
+            AdaptFrame::parse(&frame),
+            Err(DecodeError::UnsupportedVersion(PROTOCOL_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn adapt_malformed_payloads_rejected() {
+        let base = sample_request();
+
+        // Truncated sample block: header length says fewer slots than
+        // the prefix needs.
+        let mut short = base.encode().to_vec();
+        // Rewrite payload len to 3 slots and truncate to match.
+        let len_at = 1 + 1 + 4 + 4;
+        short[len_at..len_at + 4].copy_from_slice(&3u32.to_le_bytes());
+        short.truncate(1 + 1 + 4 + 4 + 4 + 8 * 3);
+        assert_eq!(
+            AdaptFrame::parse(&short),
+            Err(DecodeError::Malformed("request payload shorter than prefix"))
+        );
+
+        // k = 0 is meaningless.
+        let mut zero_k = base.clone();
+        zero_k.xs.clear();
+        zero_k.ys.clear();
+        let frame = zero_k.encode();
+        assert_eq!(
+            AdaptFrame::parse(&frame),
+            Err(DecodeError::Malformed("k and dim must be positive"))
+        );
+
+        // Counts that disagree with the payload length.
+        let mut frame = base.encode().to_vec();
+        let k_at = 1 + HEADER_LEN + 8 * 2;
+        frame[k_at..k_at + 8].copy_from_slice(&9.0f64.to_le_bytes());
+        assert_eq!(
+            AdaptFrame::parse(&frame),
+            Err(DecodeError::Malformed("sample counts disagree with payload length"))
+        );
+
+        // Non-integral steps.
+        let mut frame = base.encode().to_vec();
+        let steps_at = 1 + HEADER_LEN + 8;
+        frame[steps_at..steps_at + 8].copy_from_slice(&2.5f64.to_le_bytes());
+        assert_eq!(
+            AdaptFrame::parse(&frame),
+            Err(DecodeError::Malformed("steps is not an integral u32"))
+        );
+
+        // Non-finite alpha.
+        let mut frame = base.encode().to_vec();
+        let alpha_at = 1 + HEADER_LEN;
+        frame[alpha_at..alpha_at + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(
+            AdaptFrame::parse(&frame),
+            Err(DecodeError::Malformed("alpha is not finite"))
+        );
+
+        // Unknown sample-kind code.
+        let mut frame = base.encode().to_vec();
+        let kind_at = 1 + HEADER_LEN + 8 * 4;
+        frame[kind_at..kind_at + 8].copy_from_slice(&7.0f64.to_le_bytes());
+        assert_eq!(
+            AdaptFrame::parse(&frame),
+            Err(DecodeError::Malformed("unknown sample-kind code"))
+        );
+
+        // A reject frame with a payload or an unknown reason code.
+        let mut reject = AdaptReject {
+            req_id: 1,
+            reason: RejectReason::Busy,
+        }
+        .encode()
+        .to_vec();
+        reject[1 + 1 + 4..1 + 1 + 4 + 4].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            AdaptFrame::parse(&reject),
+            Err(DecodeError::Malformed("unknown reject-reason code"))
+        );
+    }
+
+    #[test]
+    fn adapt_encode_panics_on_shape_mismatch() {
+        let mut req = sample_request();
+        req.xs.pop();
+        let result = std::panic::catch_unwind(move || req.encode());
+        assert!(result.is_err(), "inconsistent request must not encode");
+    }
+
+    #[test]
+    fn training_frames_unchanged_by_version_bump() {
+        // v2's training frames are byte-identical to v1's except for the
+        // version byte — and v1 frames still decode.
+        let m = Message::ModelUpdate {
+            round: 5,
+            node: 2,
+            params: vec![1.0, -1.0],
+        };
+        let mut as_v1 = m.encode().to_vec();
+        as_v1[0] = 0x80 | 1;
+        assert_eq!(Message::decode(&as_v1).unwrap(), m);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_adapt_request_roundtrip(
+            req_id in 0u32..u32::MAX,
+            node in 0u32..u32::MAX,
+            alpha in -10.0f64..10.0,
+            steps in 0u32..1000,
+            dim in 1usize..8,
+            k in 1usize..16,
+            kind in prop_oneof![Just(SampleKind::Class), Just(SampleKind::Value)],
+            seed in 0u64..1000,
+        ) {
+            // Deterministic pseudo-sample fill so xs/ys exercise many
+            // bit patterns without a separate generator per shape.
+            let xs: Vec<f64> = (0..k * dim)
+                .map(|i| ((seed as f64) + i as f64 * 0.37).sin())
+                .collect();
+            let ys: Vec<f64> = (0..k)
+                .map(|i| match kind {
+                    SampleKind::Class => (i % 2) as f64,
+                    SampleKind::Value => (seed as f64) - i as f64,
+                })
+                .collect();
+            let req = AdaptRequest {
+                req_id, node, alpha, steps,
+                dim: dim as u32, kind, xs, ys,
+            };
+            let frame = req.encode();
+            prop_assert_eq!(frame.len(), req.encoded_len());
+            prop_assert_eq!(AdaptRequest::decode(&frame).unwrap(), req);
+        }
+
+        #[test]
+        fn prop_adapt_response_roundtrip(
+            req_id in 0u32..u32::MAX,
+            global_round in 0u32..u32::MAX,
+            params in proptest::collection::vec(-1e12f64..1e12, 0..64),
+        ) {
+            let resp = AdaptResponse { req_id, global_round, params };
+            let frame = resp.encode();
+            prop_assert_eq!(frame.len(), resp.encoded_len());
+            prop_assert_eq!(AdaptResponse::decode(&frame).unwrap(), resp);
+        }
+
+        #[test]
+        fn prop_adapt_pooled_encode_matches_owned(
+            req_id in 0u32..u32::MAX,
+            global_round in 0u32..u32::MAX,
+            params in proptest::collection::vec(-1e12f64..1e12, 0..64),
+        ) {
+            // The pooled serving hot path must emit bitwise-identical
+            // frames to the owned encoders, including into a buffer with
+            // stale capacity.
+            let resp = AdaptResponse { req_id, global_round, params };
+            let mut buf = BytesMut::with_capacity(512);
+            encode_adapt_response_into(req_id, global_round, &resp.params, &mut buf);
+            prop_assert_eq!(buf.freeze(), resp.encode());
+
+            let reject = AdaptReject { req_id, reason: RejectReason::Busy };
+            let mut rbuf = BytesMut::with_capacity(64);
+            encode_adapt_reject_into(req_id, RejectReason::Busy, &mut rbuf);
+            prop_assert_eq!(rbuf.freeze(), reject.encode());
+        }
+
+        #[test]
+        fn prop_adapt_parse_never_panics_on_random_bytes(
+            frame in proptest::collection::vec(0u8..=255, 0..256),
+        ) {
+            // Same adversarial-input contract as MessageView: any byte
+            // string parses or errors, never panics.
+            let _ = AdaptFrame::parse(&frame);
+        }
+
+        #[test]
+        fn prop_training_frames_still_decode_under_v2(
+            round in 0u32..u32::MAX,
+            node in 0u32..u32::MAX,
+            params in proptest::collection::vec(-1e12f64..1e12, 0..64),
+        ) {
+            // Version-bump regression guard: v0 (unversioned) and v1
+            // frames decode to the same message as the current encoding.
+            let m = Message::ModelUpdate { round, node, params };
+            prop_assert_eq!(Message::decode(&m.encode_v0()).unwrap(), m.clone());
+            let mut as_v1 = m.encode().to_vec();
+            as_v1[0] = 0x80 | 1;
+            prop_assert_eq!(Message::decode(&as_v1).unwrap(), m);
         }
     }
 }

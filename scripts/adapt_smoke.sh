@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Adaptation-service smoke gate: trains a checkpoint, adapts each held-out
+# target offline, then serves the same checkpoint over TCP to concurrent
+# adapt clients and requires every served parameter hash to match its
+# offline twin bitwise. The serving report must show zero shed or
+# rejected requests. Every wait is bounded, so a hang fails the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build -q -p fml-cli --bin fedml
+BIN=target/debug/fedml
+
+work=$(mktemp -d)
+cleanup() {
+    kill $(jobs -p) 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+# 8 nodes at source_frac 0.75 -> 6 source nodes, 2 held-out targets.
+cat > "$work/cfg.json" <<'EOF'
+{
+  "seed": 11,
+  "source_frac": 0.75,
+  "dataset": {
+    "kind": "synthetic",
+    "alpha": 0.5,
+    "beta": 0.5,
+    "nodes": 8,
+    "dim": 6,
+    "classes": 3,
+    "mean_samples": 18.0
+  },
+  "model": { "kind": "softmax", "l2": 0.001 },
+  "algorithm": {
+    "kind": "fedml",
+    "alpha": 0.05,
+    "beta": 0.05,
+    "local_steps": 2,
+    "rounds": 3,
+    "first_order": false
+  },
+  "simulate": null,
+  "eval": { "k": 4, "adapt_steps": 3, "adapt_lr": 0.05, "fgsm_xi": null }
+}
+EOF
+
+# Train once and leave a checkpoint behind for the service to load.
+"$BIN" runtime "$work/cfg.json" --checkpoint-dir "$work/ckpt" \
+    --json "$work/train.json" > /dev/null
+if [ ! -f "$work/ckpt/latest.json" ]; then
+    echo "adapt smoke: training left no checkpoint" >&2
+    exit 1
+fi
+
+hash_of() {
+    sed -n 's/.*"param_hash": "\([0-9a-f]\{16\}\)".*/\1/p' "$1" | head -n 1
+}
+
+# Oracle: adapt each target offline, straight from the checkpoint.
+for t in 0 1; do
+    "$BIN" adapt "$work/cfg.json" --offline --checkpoint-dir "$work/ckpt" \
+        --target "$t" --json "$work/offline$t.json" > /dev/null
+done
+
+# Service side: bind an ephemeral TCP port and report it on stderr.
+# 4 clients x (probe + adapt) = 8 requests, then the service drains
+# and exits on its own.
+"$BIN" adapt-serve "$work/cfg.json" --listen 127.0.0.1:0 \
+    --checkpoint-dir "$work/ckpt" --workers 2 --max-requests 8 \
+    --json "$work/serve.json" > "$work/serve.out" 2> "$work/serve.err" &
+server=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    line=$(grep -m1 "adapt service listening on" "$work/serve.err" || true)
+    if [ -n "$line" ]; then
+        addr=$(echo "$line" | sed 's/^adapt service listening on //')
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "adapt smoke: service never reported its address" >&2
+    cat "$work/serve.err" >&2
+    exit 1
+fi
+
+# Client side: concurrent adapt requests, two per target.
+for i in 0 1 2 3; do
+    t=$((i % 2))
+    "$BIN" adapt "$work/cfg.json" --connect "$addr" --target "$t" \
+        --json "$work/client$i.json" > "$work/client$i.out" 2>&1 &
+done
+
+# Bounded wait: a healthy run takes a couple of seconds.
+for _ in $(seq 1 600); do
+    kill -0 "$server" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$server" 2>/dev/null; then
+    echo "adapt smoke: service hung; client logs follow" >&2
+    tail -n 5 "$work"/client*.out >&2 || true
+    exit 1
+fi
+if ! wait "$server"; then
+    echo "adapt smoke: service failed" >&2
+    cat "$work/serve.err" >&2
+    exit 1
+fi
+wait
+
+# Served adaptation must be bitwise-identical to the offline oracle.
+for i in 0 1 2 3; do
+    t=$((i % 2))
+    served=$(hash_of "$work/client$i.json")
+    offline=$(hash_of "$work/offline$t.json")
+    if [ -z "$served" ] || [ "$served" != "$offline" ]; then
+        echo "adapt smoke: target $t hash mismatch: served=$served offline=$offline" >&2
+        cat "$work/client$i.out" >&2
+        exit 1
+    fi
+done
+
+# The service must have answered everything: no sheds, no rejects.
+for field in '"responses": 8' '"shed_busy": 0' '"rejected_unavailable": 0' \
+    '"rejected_bad": 0' '"decode_errors": 0' '"dropped_replies": 0'; do
+    if ! grep -q "$field" "$work/serve.json"; then
+        echo "adapt smoke: serving report missing $field" >&2
+        cat "$work/serve.json" >&2
+        exit 1
+    fi
+done
+
+echo "adapt smoke: OK (4 concurrent clients over tcp, served hashes match offline)"

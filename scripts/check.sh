@@ -13,4 +13,5 @@ cargo test --workspace -q
 "$(dirname "$0")/transport_smoke.sh"
 "$(dirname "$0")/scale_smoke.sh"
 "$(dirname "$0")/recovery_smoke.sh"
+"$(dirname "$0")/adapt_smoke.sh"
 echo "check: OK"
