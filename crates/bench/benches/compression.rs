@@ -1,0 +1,204 @@
+//! Criterion benches on the wire-v2 update codecs: raw encode/decode
+//! throughput per codec on a large parameter vector, and (timed runs
+//! only) an end-to-end runtime phase per codec recording uplink
+//! bytes/round, the logical-to-physical compression ratio, and the
+//! query-loss delta vs the dense baseline at fixed rounds — all landing
+//! in a `compression` section of `BENCH_pr9.json` at the repository
+//! root (skipped in `--test` mode).
+
+use criterion::{black_box, Criterion};
+use fml_core::{weighted_meta_loss, FedMl, FedMlConfig};
+use fml_models::Model;
+use fml_runtime::{Runtime, RuntimeConfig, UpdateCodec};
+use fml_sim::{
+    compressed_frame_len, encode_update_compressed_into, CodecScratch, CompressedView, FramePool,
+    MessageView,
+};
+use rand::SeedableRng;
+
+/// Parameter count for the raw codec benches — a realistic mid-size
+/// model update, large enough that per-frame overhead vanishes.
+const PARAMS: usize = 10_000;
+
+/// Codecs under test, cheapest-first. Top-k keeps 1/32 of the entries.
+fn codecs() -> [UpdateCodec; 4] {
+    [
+        UpdateCodec::Dense,
+        UpdateCodec::Quant { bits: 16 },
+        UpdateCodec::Quant { bits: 8 },
+        UpdateCodec::TopK { k: PARAMS / 32 },
+    ]
+}
+
+/// A deterministic pseudo-update with realistic structure: a heavy head
+/// and a long near-zero tail, so top-k has mass to keep and quant has a
+/// non-trivial per-chunk range.
+fn update(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64 + 1.0;
+            (x * 12.9898).sin() / x.sqrt()
+        })
+        .collect()
+}
+
+fn encode_frame(codec: UpdateCodec, params: &[f64]) -> bytes::Bytes {
+    let pool = FramePool::global().handle();
+    let mut scratch = CodecScratch::new();
+    let mut buf = pool.acquire(compressed_frame_len(codec, params.len()));
+    encode_update_compressed_into(codec, 1, 0, params, &mut scratch, &mut buf);
+    buf.freeze()
+}
+
+/// Encode throughput per codec: pooled acquire + compress + freeze,
+/// the exact per-reply path a runtime node runs.
+fn bench_codec_encode(c: &mut Criterion) {
+    let params = update(PARAMS);
+    let pool = FramePool::global().handle();
+    let mut group = c.benchmark_group("codec_encode");
+    for codec in [UpdateCodec::None].into_iter().chain(codecs()) {
+        let mut scratch = CodecScratch::new();
+        group.bench_function(codec.to_string(), |b| {
+            b.iter(|| {
+                let mut buf = pool.acquire(compressed_frame_len(codec, params.len()));
+                encode_update_compressed_into(
+                    codec,
+                    1,
+                    0,
+                    black_box(&params),
+                    &mut scratch,
+                    &mut buf,
+                );
+                pool.recycle(buf.freeze());
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Decode throughput per codec: parse + dequantize/scatter back to a
+/// dense vector, the platform's per-update path before aggregation.
+fn bench_codec_decode(c: &mut Criterion) {
+    let params = update(PARAMS);
+    let mut group = c.benchmark_group("codec_decode");
+    // The `none` path decodes as a plain dense tag-2 frame.
+    let dense_frame = encode_frame(UpdateCodec::None, &params);
+    group.bench_function("none", |b| {
+        b.iter(|| {
+            MessageView::parse(black_box(&dense_frame))
+                .unwrap()
+                .params_to_vec()
+        })
+    });
+    for codec in codecs() {
+        let frame = encode_frame(codec, &params);
+        group.bench_function(codec.to_string(), |b| {
+            b.iter(|| {
+                CompressedView::parse(black_box(&frame))
+                    .unwrap()
+                    .params_to_vec()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Timed-run-only end-to-end phase: the same seeded federation trained
+/// under each codec at fixed rounds; uplink bytes, compression ratio,
+/// and final query loss come from the runtime's own report.
+fn codec_run_results() -> Vec<fml_bench::perf::PerfResult> {
+    const ROUNDS: usize = 20;
+    const ALPHA: f64 = 0.05;
+    let setup = fml_bench::workloads::synthetic(0.5, 0.5, 5, true, 11);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let theta0 = setup.model.init_params(&mut rng);
+    let trainer = FedMl::new(
+        FedMlConfig::new(ALPHA, ALPHA)
+            .with_rounds(ROUNDS)
+            .with_local_steps(2)
+            .with_record_every(0),
+    );
+    let k = (setup.model.param_len() / 8).max(1);
+    // Fixed labels (no `k` suffix) so the comparison ids below are
+    // stable however the quick workload's parameter count moves.
+    let runs = [
+        ("none", UpdateCodec::None),
+        ("quant8", UpdateCodec::Quant { bits: 8 }),
+        ("topk", UpdateCodec::TopK { k }),
+    ];
+    let mut results = Vec::new();
+    let mut dense_loss = None;
+    for (name, codec) in runs {
+        let cfg = RuntimeConfig::barrier(17).with_update_codec(codec);
+        let out = Runtime::new(cfg).run(&trainer, &setup.model, &setup.tasks, &theta0);
+        let loss = weighted_meta_loss(&setup.model, &setup.tasks, &out.train.params, ALPHA);
+        let dense_loss = *dense_loss.get_or_insert(loss);
+        results.push(fml_bench::perf::PerfResult {
+            id: format!("codec_run/{name}/uplink_bytes_per_round"),
+            ns_per_iter: out.report.uplink_bytes() as f64 / ROUNDS as f64,
+        });
+        results.push(fml_bench::perf::PerfResult {
+            id: format!("codec_run/{name}/compression_ratio"),
+            ns_per_iter: out.report.uplink_compression_ratio().unwrap_or(1.0),
+        });
+        results.push(fml_bench::perf::PerfResult {
+            id: format!("codec_run/{name}/query_loss_delta_vs_dense"),
+            ns_per_iter: (loss - dense_loss).abs(),
+        });
+    }
+    results
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_codec_encode(&mut c);
+    bench_codec_decode(&mut c);
+
+    // Timed runs (not `--test`) record the perf trajectory.
+    if c.results().is_empty() {
+        return;
+    }
+    let mut results: Vec<fml_bench::perf::PerfResult> = c
+        .results()
+        .iter()
+        .map(|r| fml_bench::perf::PerfResult {
+            id: r.id.clone(),
+            ns_per_iter: r.ns_per_iter,
+        })
+        .collect();
+    results.extend(codec_run_results());
+    let comparisons = [
+        // "speedup" here is the uplink byte reduction: dense-path bytes
+        // per round over the compressed codec's — the ≥3x headline.
+        fml_bench::perf::comparison(
+            "uplink_bytes_none_vs_topk",
+            &results,
+            "codec_run/none/uplink_bytes_per_round",
+            "codec_run/topk/uplink_bytes_per_round",
+        ),
+        fml_bench::perf::comparison(
+            "uplink_bytes_none_vs_quant8",
+            &results,
+            "codec_run/none/uplink_bytes_per_round",
+            "codec_run/quant8/uplink_bytes_per_round",
+        ),
+        fml_bench::perf::comparison(
+            "encode_none_vs_topk",
+            &results,
+            &format!("codec_encode/topk{}", PARAMS / 32),
+            "codec_encode/none",
+        ),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+    fml_bench::perf::write_report_named(
+        "BENCH_pr9.json",
+        "compression",
+        fml_bench::perf::PerfSection {
+            host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            results,
+            comparisons,
+        },
+    );
+}

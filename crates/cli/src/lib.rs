@@ -47,7 +47,7 @@ use fml_runtime::{
     param_hash, serving::request_from_batch, AdaptClient, AdaptOutcome, AdaptServer, AsyncPolicy,
     FaultyTransport, LinkFaultPlan, NodeIo, Runtime, RuntimeConfig, ServingConfig, ServingReport,
     SharedGlobal, TcpTransport, TcpTransportListener, Transport, TransportListener, UnixTransport,
-    UnixTransportListener, CONNECT_ATTEMPTS, CONNECT_BASE_DELAY,
+    UnixTransportListener, UpdateCodec, CONNECT_ATTEMPTS, CONNECT_BASE_DELAY,
 };
 use fml_sim::{Network, SimConfig, SimRunner};
 use rand::rngs::StdRng;
@@ -248,6 +248,14 @@ pub struct RuntimeOptions {
     /// Scripted link disconnect after this many received frames (the
     /// node process then exits; restart it to exercise reconnects).
     pub fault_disconnect_after: Option<u64>,
+    /// Update codec name (`none`, `dense`, `quant`, `topk`); `None`
+    /// keeps the bitwise dense path.
+    pub update_codec: Option<String>,
+    /// Coordinates kept per update under `--update-codec topk`.
+    pub topk: Option<usize>,
+    /// Quantization width under `--update-codec quant` (8 or 16;
+    /// defaults to 8).
+    pub quant_bits: Option<u8>,
 }
 
 impl Default for RuntimeOptions {
@@ -274,6 +282,9 @@ impl Default for RuntimeOptions {
             fault_delay_prob: 0.0,
             fault_delay_ms: 0,
             fault_disconnect_after: None,
+            update_codec: None,
+            topk: None,
+            quant_bits: None,
         }
     }
 }
@@ -364,11 +375,47 @@ fn build_runtime_setup(cfg: &RunConfig, seed: u64) -> Result<RuntimeSetup, Strin
     })
 }
 
+/// Resolves the `--update-codec` flag family into an [`UpdateCodec`].
+/// Both sides of a socket fleet parse the same flags, but only the node
+/// side encodes with the result — the platform decodes every codec
+/// unconditionally.
+fn parse_update_codec(opts: &RuntimeOptions) -> Result<UpdateCodec, String> {
+    let name = opts.update_codec.as_deref().unwrap_or("none");
+    if name != "quant" && opts.quant_bits.is_some() {
+        return Err("--quant-bits requires --update-codec quant".into());
+    }
+    if name != "topk" && opts.topk.is_some() {
+        return Err("--topk requires --update-codec topk".into());
+    }
+    match name {
+        "none" => Ok(UpdateCodec::None),
+        "dense" => Ok(UpdateCodec::Dense),
+        "quant" => match opts.quant_bits.unwrap_or(8) {
+            bits @ (8 | 16) => Ok(UpdateCodec::Quant { bits }),
+            bits => Err(format!("--quant-bits must be 8 or 16, got {bits}")),
+        },
+        "topk" => match opts.topk {
+            Some(0) => Err("--topk must be at least 1".into()),
+            Some(k) => Ok(UpdateCodec::TopK { k }),
+            None => Err("--update-codec topk requires --topk <k>".into()),
+        },
+        other => Err(format!(
+            "unknown update codec {other} (none|dense|quant|topk)"
+        )),
+    }
+}
+
 /// The [`RuntimeConfig`] the options describe, at `seed`. Shared by the
 /// platform and every node process, so the seeded fault plan (and with
 /// it each node's crash/corrupt schedule) agrees across the fleet
 /// without shared memory.
-fn build_runtime_config(opts: &RuntimeOptions, seed: u64) -> RuntimeConfig {
+///
+/// # Errors
+///
+/// Returns a human-readable message when the codec flags are
+/// inconsistent.
+fn build_runtime_config(opts: &RuntimeOptions, seed: u64) -> Result<RuntimeConfig, String> {
+    let codec = parse_update_codec(opts)?;
     let mut rt_cfg = match opts.mode {
         RuntimeMode::Barrier => RuntimeConfig::barrier(seed),
         RuntimeMode::Async => RuntimeConfig::async_mode(
@@ -404,7 +451,7 @@ fn build_runtime_config(opts: &RuntimeOptions, seed: u64) -> RuntimeConfig {
     if opts.no_recovery {
         rt_cfg = rt_cfg.without_recovery();
     }
-    rt_cfg
+    Ok(rt_cfg.with_update_codec(codec))
 }
 
 /// The [`LinkFaultPlan`] a node process wraps its link in, or `None`
@@ -461,7 +508,7 @@ pub fn run_runtime(cfg: &RunConfig, opts: &RuntimeOptions) -> Result<Report, Str
         stepper,
         mut rng,
     } = build_runtime_setup(cfg, seed)?;
-    let rt_cfg = build_runtime_config(opts, seed);
+    let rt_cfg = build_runtime_config(opts, seed)?;
     let runtime = Runtime::new(rt_cfg);
 
     let out = match (opts.transport, &opts.listen) {
@@ -562,7 +609,7 @@ pub fn run_runtime_node(cfg: &RunConfig, opts: &RuntimeOptions) -> Result<NodeIo
     if let Some(plan) = build_link_fault_plan(opts, seed, node) {
         link = Box::new(FaultyTransport::new(link, plan));
     }
-    let rt_cfg = build_runtime_config(opts, seed);
+    let rt_cfg = build_runtime_config(opts, seed)?;
     Ok(Runtime::new(rt_cfg).run_node(
         setup.stepper.as_ref(),
         setup.model.as_ref(),
@@ -745,7 +792,7 @@ pub fn run_adapt_serve(cfg: &RunConfig, opts: &ServeOptions) -> Result<ServingRe
     if opts.attach {
         // Train in-process on the channel runtime, hot-swapping each
         // round's global into the service while it answers requests.
-        let rt_cfg = build_runtime_config(&RuntimeOptions::default(), seed);
+        let rt_cfg = build_runtime_config(&RuntimeOptions::default(), seed)?;
         let runtime = Runtime::new(rt_cfg).with_publisher(global.clone());
         let server = AdaptServer::start(listener, std::sync::Arc::clone(&model), global, serving_cfg);
         let report = std::thread::scope(|s| {
@@ -1320,6 +1367,74 @@ mod tests {
         assert!(summary.staleness_hist.len() <= 3, "bound is max_staleness");
         assert!(summary.accepted_updates > 0);
         assert!(rt.eval.final_loss.is_finite());
+    }
+
+    #[test]
+    fn runtime_codec_flags_parse_and_compress() {
+        let cfg = tiny(AlgorithmConfig::Fedavg {
+            lr: 0.05,
+            local_steps: 2,
+            rounds: 3,
+        });
+        let baseline = run_runtime(&cfg, &RuntimeOptions::default()).unwrap();
+        let base_hash = baseline.runtime.as_ref().unwrap().param_hash.clone();
+        // `--update-codec none` spelled out is the default: same bits.
+        let none = run_runtime(
+            &cfg,
+            &RuntimeOptions {
+                update_codec: Some("none".into()),
+                ..RuntimeOptions::default()
+            },
+        )
+        .unwrap();
+        let none_summary = none.runtime.as_ref().unwrap();
+        assert_eq!(none_summary.param_hash, base_hash);
+        assert_eq!(none_summary.update_codec, "none");
+        // Top-k shrinks the uplink by at least the headline 3x.
+        let topk = run_runtime(
+            &cfg,
+            &RuntimeOptions {
+                update_codec: Some("topk".into()),
+                topk: Some(2),
+                ..RuntimeOptions::default()
+            },
+        )
+        .unwrap();
+        let summary = topk.runtime.unwrap();
+        assert_eq!(summary.update_codec, "topk2");
+        assert!(
+            summary.uplink_bytes_logical >= 3 * summary.uplink_bytes,
+            "uplink {} logical vs {} physical",
+            summary.uplink_bytes_logical,
+            summary.uplink_bytes
+        );
+        // Inconsistent flag combinations fail before anything runs.
+        let bad = [
+            RuntimeOptions {
+                update_codec: Some("topk".into()),
+                ..RuntimeOptions::default()
+            },
+            RuntimeOptions {
+                update_codec: Some("quant".into()),
+                quant_bits: Some(7),
+                ..RuntimeOptions::default()
+            },
+            RuntimeOptions {
+                topk: Some(4),
+                ..RuntimeOptions::default()
+            },
+            RuntimeOptions {
+                quant_bits: Some(8),
+                ..RuntimeOptions::default()
+            },
+            RuntimeOptions {
+                update_codec: Some("zstd".into()),
+                ..RuntimeOptions::default()
+            },
+        ];
+        for opts in bad {
+            assert!(run_runtime(&cfg, &opts).is_err(), "{opts:?} should fail");
+        }
     }
 
     #[test]

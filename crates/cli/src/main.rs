@@ -16,6 +16,8 @@
 //!       [--fault-seed N] [--fault-drop P] [--fault-corrupt P]
 //!       [--fault-delay-prob P] [--fault-delay-ms MS]
 //!       [--fault-disconnect-after N]                      link fault plan
+//!       [--update-codec none|dense|quant|topk]            uplink codec
+//!       [--topk K] [--quant-bits 8|16]
 //! ```
 //!
 //! With `--transport tcp` or `uds` the platform (`--listen`) and each
@@ -55,6 +57,7 @@ const USAGE: &str = "usage:
         [--fault-seed N] [--fault-drop P] [--fault-corrupt P]
         [--fault-delay-prob P] [--fault-delay-ms MS]
         [--fault-disconnect-after N]
+        [--update-codec none|dense|quant|topk] [--topk K] [--quant-bits 8|16]
   fedml adapt-serve <config.json> --listen <addr> [--transport tcp|uds]
         (--checkpoint-dir <dir> | --attach) [--workers N]
         [--queue-depth N] [--max-k N] [--max-steps N]
@@ -281,6 +284,21 @@ fn parse_runtime_flags(args: &[String]) -> Result<(RuntimeOptions, Option<String
                     value("--fault-disconnect-after")?
                         .parse()
                         .map_err(|e| format!("bad --fault-disconnect-after: {e}"))?,
+                )
+            }
+            "--update-codec" => opts.update_codec = Some(value("--update-codec")?),
+            "--topk" => {
+                opts.topk = Some(
+                    value("--topk")?
+                        .parse()
+                        .map_err(|e| format!("bad --topk: {e}"))?,
+                )
+            }
+            "--quant-bits" => {
+                opts.quant_bits = Some(
+                    value("--quant-bits")?
+                        .parse()
+                        .map_err(|e| format!("bad --quant-bits: {e}"))?,
                 )
             }
             other => return Err(format!("unknown flag {other}")),

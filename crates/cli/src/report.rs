@@ -67,6 +67,18 @@ pub struct RuntimeSummary {
     pub frames: u64,
     /// Encoded bytes moved in both directions.
     pub bytes: u64,
+    /// Update codec the node actors encoded with (`"none"`, `"quant8"`,
+    /// `"topk32"`, …; empty in pre-codec reports).
+    #[serde(default)]
+    pub update_codec: String,
+    /// Physical uplink bytes (update frames as encoded).
+    #[serde(default)]
+    pub uplink_bytes: u64,
+    /// Logical uplink bytes: what the same updates would have cost as
+    /// dense frames. The `logical / physical` ratio is the uplink
+    /// compression win.
+    #[serde(default)]
+    pub uplink_bytes_logical: u64,
     /// Updates folded into the global model.
     pub accepted_updates: u64,
     /// `staleness_hist[s]` = accepted updates applied at staleness `s`.
@@ -112,6 +124,9 @@ impl RuntimeSummary {
             threads: report.threads,
             frames: report.total_frames(),
             bytes: report.total_bytes(),
+            update_codec: report.update_codec.clone(),
+            uplink_bytes: report.uplink_bytes(),
+            uplink_bytes_logical: report.uplink_bytes_logical(),
             accepted_updates: report.accepted_updates(),
             staleness_hist: report.staleness_hist.clone(),
             rejected_stale: report.rejected_stale,
@@ -273,6 +288,19 @@ impl fmt::Display for Report {
             if !rt.param_hash.is_empty() {
                 writeln!(f, "           param hash {}", rt.param_hash)?;
             }
+            if !rt.update_codec.is_empty() && rt.update_codec != "none" {
+                write!(f, "           codec {}", rt.update_codec)?;
+                if rt.uplink_bytes > 0 && rt.uplink_bytes_logical > 0 {
+                    write!(
+                        f,
+                        ": uplink {:.2} MB -> {:.2} MB ({:.1}x)",
+                        rt.uplink_bytes_logical as f64 / 1e6,
+                        rt.uplink_bytes as f64 / 1e6,
+                        rt.uplink_bytes_logical as f64 / rt.uplink_bytes as f64
+                    )?;
+                }
+                writeln!(f)?;
+            }
             writeln!(
                 f,
                 "           {} accepted ({} stale, {} invalid, {} undelivered), {} degraded rounds",
@@ -428,6 +456,9 @@ mod tests {
             threads: 4,
             frames: 240,
             bytes: 480_000,
+            update_codec: "topk8".into(),
+            uplink_bytes: 60_000,
+            uplink_bytes_logical: 240_000,
             accepted_updates: 110,
             staleness_hist: vec![90, 15, 5],
             rejected_stale: 6,
@@ -451,6 +482,10 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("runtime    async mode over tcp"));
         assert!(text.contains("param hash 00c0ffee00c0ffee"));
+        assert!(
+            text.contains("codec topk8: uplink 0.24 MB -> 0.06 MB (4.0x)"),
+            "missing codec line: {text}"
+        );
         assert!(text.contains("staleness s0:90 s1:15 s2:5"));
         assert!(text.contains("recovery 1 cycles, 1 rollbacks, excluded [2 3]"));
         assert!(text.contains("4 checkpoints, resumed at round 5"));

@@ -1,0 +1,173 @@
+//! Error-feedback residuals for lossy update compression.
+//!
+//! Top-k sparsification drops most of each round's update mass. Left
+//! uncorrected, the dropped coordinates never reach the platform and
+//! the federation converges to a worse floor. The standard fix
+//! (error feedback, a.k.a. memory-compensated compression) keeps the
+//! dropped mass in a per-node residual and folds it into the *next*
+//! round's update before compressing:
+//!
+//! ```text
+//! compensated = update + residual          // compensate()
+//! wire        = compress(compensated)
+//! residual    = compensated - decode(wire) // absorb()
+//! ```
+//!
+//! Nothing is ever lost — only delayed. The buffer is keyed by node id
+//! because one runtime worker services many node actors; each node's
+//! residual must follow *its* update stream, not the worker's.
+//!
+//! Exact codecs (`none`, `dense`) bypass this module entirely: their
+//! residual is identically zero and touching the update would perturb
+//! the bitwise-pinned paths.
+
+use std::collections::HashMap;
+
+/// Per-node residual buffers for memory-compensated compression.
+#[derive(Debug, Default)]
+pub struct ErrorFeedback {
+    residuals: HashMap<u32, Vec<f64>>,
+}
+
+impl ErrorFeedback {
+    /// A fresh buffer with no residuals.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `node`'s stored residual into `update` in place (the
+    /// compensation step). A node with no residual yet — or whose
+    /// parameter dimension changed — is left untouched.
+    pub fn compensate(&mut self, node: u32, update: &mut [f64]) {
+        if let Some(residual) = self.residuals.get(&node) {
+            if residual.len() == update.len() {
+                for (u, r) in update.iter_mut().zip(residual) {
+                    *u += r;
+                }
+            }
+        }
+    }
+
+    /// Stores what the wire dropped: `residual = compensated - decoded`,
+    /// where `decoded` is the reconstruction the platform will see
+    /// (obtained by parsing the just-encoded frame, so encode bugs
+    /// surface as residual drift instead of silent loss). Non-finite
+    /// differences — corrupt-fault debris — are recorded as zero rather
+    /// than replayed into every future round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decoded` yields fewer values than `compensated` has —
+    /// the reconstruction must cover every coordinate.
+    pub fn absorb(
+        &mut self,
+        node: u32,
+        compensated: &[f64],
+        decoded: impl IntoIterator<Item = f64>,
+    ) {
+        let residual = self.residuals.entry(node).or_default();
+        residual.clear();
+        residual.reserve(compensated.len());
+        let mut decoded = decoded.into_iter();
+        for &c in compensated {
+            let d = decoded.next().expect("reconstruction covers every slot");
+            let r = c - d;
+            residual.push(if r.is_finite() { r } else { 0.0 });
+        }
+    }
+
+    /// Drops `node`'s residual (used when a node is excluded or the
+    /// model is rolled back — stale residuals must not replay).
+    pub fn forget(&mut self, node: u32) {
+        self.residuals.remove(&node);
+    }
+
+    /// Drops every residual.
+    pub fn clear(&mut self) {
+        self.residuals.clear();
+    }
+
+    /// Sum of |residual| across all nodes — diagnostic for how much
+    /// mass is currently in flight.
+    pub fn pending_mass(&self) -> f64 {
+        self.residuals
+            .values()
+            .flat_map(|r| r.iter())
+            .map(|v| v.abs())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference top-k compressor: keep the k largest |v|, zero the rest.
+    fn topk(values: &[f64], k: usize) -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..values.len()).collect();
+        idx.sort_by(|&a, &b| values[b].abs().total_cmp(&values[a].abs()).then(a.cmp(&b)));
+        let mut out = vec![0.0; values.len()];
+        for &i in idx.iter().take(k) {
+            out[i] = values[i];
+        }
+        out
+    }
+
+    #[test]
+    fn residual_holds_exactly_the_dropped_mass() {
+        let mut fb = ErrorFeedback::new();
+        let mut update = vec![1.0, -0.5, 3.0, 0.25];
+        fb.compensate(7, &mut update);
+        assert_eq!(update, vec![1.0, -0.5, 3.0, 0.25], "no residual yet");
+        let wire = topk(&update, 1);
+        fb.absorb(7, &update, wire.iter().cloned());
+        assert_eq!(fb.pending_mass(), 1.0 + 0.5 + 0.25);
+    }
+
+    #[test]
+    fn dropped_mass_reappears_next_round() {
+        let mut fb = ErrorFeedback::new();
+        let first = vec![1.0, -0.5, 3.0, 0.25];
+        let mut compensated = first.clone();
+        fb.compensate(3, &mut compensated);
+        fb.absorb(3, &compensated, topk(&compensated, 1));
+        // Next round's raw update is zero; the compensated update must
+        // be exactly what round one dropped.
+        let mut second = vec![0.0; 4];
+        fb.compensate(3, &mut second);
+        assert_eq!(second, vec![1.0, -0.5, 0.0, 0.25]);
+        // A k that covers everything flushes the residual to zero.
+        fb.absorb(3, &second, topk(&second, 4));
+        assert_eq!(fb.pending_mass(), 0.0);
+    }
+
+    #[test]
+    fn residuals_are_per_node() {
+        let mut fb = ErrorFeedback::new();
+        fb.absorb(1, &[2.0, 0.0], [0.0, 0.0]);
+        fb.absorb(2, &[0.0, -4.0], [0.0, 0.0]);
+        let mut a = vec![0.0, 0.0];
+        fb.compensate(1, &mut a);
+        assert_eq!(a, vec![2.0, 0.0]);
+        let mut b = vec![0.0, 0.0];
+        fb.compensate(2, &mut b);
+        assert_eq!(b, vec![0.0, -4.0]);
+    }
+
+    #[test]
+    fn forget_and_dimension_change_drop_the_residual() {
+        let mut fb = ErrorFeedback::new();
+        fb.absorb(5, &[1.0], [0.0]);
+        fb.forget(5);
+        let mut u = vec![0.0];
+        fb.compensate(5, &mut u);
+        assert_eq!(u, vec![0.0]);
+        // A stored residual of the wrong dimension is ignored.
+        fb.absorb(6, &[1.0, 1.0], [0.0, 0.0]);
+        let mut short = vec![0.0];
+        fb.compensate(6, &mut short);
+        assert_eq!(short, vec![0.0]);
+        fb.clear();
+        assert_eq!(fb.pending_mass(), 0.0);
+    }
+}

@@ -50,6 +50,7 @@
 
 pub mod adapt;
 pub mod checkpoint;
+pub mod compress;
 mod error;
 pub mod faults;
 mod fedavg;
@@ -70,6 +71,7 @@ mod task;
 pub mod theory;
 mod trainer;
 
+pub use compress::ErrorFeedback;
 pub use error::CoreError;
 pub use faults::{CorruptMode, Fault, FaultPlan};
 pub use fedavg::{FedAvg, FedAvgConfig};

@@ -37,10 +37,13 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use fml_core::faults::corrupt;
-use fml_core::{Fault, FaultPlan, LocalStepper, SourceTask};
+use fml_core::{ErrorFeedback, Fault, FaultPlan, LocalStepper, SourceTask};
 use fml_models::Model;
-use fml_sim::message::{encode_update_into, encoded_frame_len};
-use fml_sim::{FramePool, Message, MessageView};
+use fml_sim::message::encoded_frame_len;
+use fml_sim::{
+    compressed_frame_len, encode_update_compressed_into, CodecScratch, CompressedView, FramePool,
+    Message, MessageView, UpdateCodec,
+};
 
 use crate::report::NodeIo;
 use crate::transport::{ChannelTransport, Transport, TransportError};
@@ -90,6 +93,10 @@ pub(crate) struct WorkerCtx<'a> {
     pub faults: &'a FaultPlan,
     pub local_steps: usize,
     pub recv_timeout: Duration,
+    /// How update replies are encoded. [`UpdateCodec::None`] keeps the
+    /// historical tag-2 frame bitwise; the compressing codecs emit wire
+    /// v2 tag-6 frames (and, for top-k, run error feedback).
+    pub codec: UpdateCodec,
 }
 
 /// What a worker hands back when its rounds are done.
@@ -107,6 +114,14 @@ pub(crate) struct WorkerOutcome {
 pub(crate) struct StepScratch {
     global: Vec<f64>,
     pool: FramePool,
+    /// Encode-side scratch for the compressed codecs (top-k index
+    /// selection buffer); unused and untouched under `None`.
+    codec: CodecScratch,
+    /// Error-feedback residuals for lossy codecs, keyed by node id
+    /// because one worker services many node actors. Only top-k
+    /// touches it — quantization error does not accumulate the way
+    /// dropped coordinates do.
+    feedback: ErrorFeedback,
 }
 
 impl StepScratch {
@@ -114,6 +129,8 @@ impl StepScratch {
         StepScratch {
             global: Vec::new(),
             pool: FramePool::global().handle(),
+            codec: CodecScratch::default(),
+            feedback: ErrorFeedback::new(),
         }
     }
 }
@@ -164,11 +181,35 @@ fn step_reply(
     if let Some(Fault::Corrupt(mode)) = fault {
         corrupt(mode, &mut update);
     }
-    let mut buf = scratch.pool.acquire(encoded_frame_len(update.len()));
-    encode_update_into(broadcast_round, node as u32, &update, &mut buf);
+    if ctx.codec.wants_feedback() {
+        // Fold in what previous rounds' compression dropped before
+        // selecting this round's survivors.
+        scratch.feedback.compensate(node as u32, &mut update);
+    }
+    let mut buf = scratch
+        .pool
+        .acquire(compressed_frame_len(ctx.codec, update.len()));
+    encode_update_compressed_into(
+        ctx.codec,
+        broadcast_round,
+        node as u32,
+        &update,
+        &mut scratch.codec,
+        &mut buf,
+    );
     let reply = buf.freeze();
+    if ctx.codec.wants_feedback() {
+        // Residual = compensated − what the platform will decode, read
+        // back from the frame we just encoded so an encode bug surfaces
+        // as residual drift instead of silent loss.
+        let view = CompressedView::parse(&reply).expect("own frame parses");
+        scratch.feedback.absorb(node as u32, &update, view.params_iter());
+    }
     io.frames_sent += 1;
     io.bytes_sent += reply.len() as u64;
+    // What the same update would have cost as a dense tag-2 frame: the
+    // denominator of the uplink compression ratio.
+    io.bytes_sent_logical += encoded_frame_len(update.len()) as u64;
     Some(reply)
 }
 

@@ -4,6 +4,7 @@
 use std::path::PathBuf;
 
 use fml_core::{FaultPlan, GatherPolicy};
+use fml_sim::UpdateCodec;
 
 use crate::clock::VirtualClock;
 use crate::health::HealthPolicy;
@@ -168,6 +169,10 @@ pub struct RuntimeConfig {
     pub health: HealthPolicy,
     /// Disk checkpoint cadence and resume behaviour.
     pub checkpoint: CheckpointConfig,
+    /// How node actors encode their update replies on the uplink.
+    /// [`UpdateCodec::None`] (the default) emits today's tag-2 frames
+    /// byte-for-byte; the platform decodes every codec unconditionally.
+    pub update_codec: UpdateCodec,
 }
 
 impl RuntimeConfig {
@@ -187,6 +192,7 @@ impl RuntimeConfig {
             recovery: RecoveryConfig::default(),
             health: HealthPolicy::default(),
             checkpoint: CheckpointConfig::default(),
+            update_codec: UpdateCodec::None,
         }
     }
 
@@ -318,6 +324,26 @@ impl RuntimeConfig {
         self
     }
 
+    /// Sets the update codec the node actors encode replies with.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate codec: `Quant` bits outside {8, 16} or a
+    /// `TopK` k of zero (which would ship empty updates forever).
+    pub fn with_update_codec(mut self, codec: UpdateCodec) -> Self {
+        match codec {
+            UpdateCodec::Quant { bits } => {
+                assert!(bits == 8 || bits == 16, "quant bits must be 8 or 16");
+            }
+            UpdateCodec::TopK { k } => {
+                assert!(k > 0, "top-k must keep at least one entry");
+            }
+            UpdateCodec::None | UpdateCodec::Dense => {}
+        }
+        self.update_codec = codec;
+        self
+    }
+
     /// The async policy, if in async mode.
     pub fn async_policy(&self) -> Option<&AsyncPolicy> {
         match &self.mode {
@@ -384,6 +410,26 @@ mod tests {
         assert!(cfg.checkpoint.resume);
         assert!(!cfg.clone().without_resume().checkpoint.resume);
         assert!(!cfg.without_recovery().recovery.enabled);
+    }
+
+    #[test]
+    fn update_codec_defaults_to_none_and_builds() {
+        let cfg = RuntimeConfig::barrier(5);
+        assert_eq!(cfg.update_codec, UpdateCodec::None);
+        let cfg = cfg.with_update_codec(UpdateCodec::TopK { k: 8 });
+        assert_eq!(cfg.update_codec, UpdateCodec::TopK { k: 8 });
+    }
+
+    #[test]
+    #[should_panic(expected = "quant bits")]
+    fn bad_quant_bits_rejected() {
+        let _ = RuntimeConfig::barrier(0).with_update_codec(UpdateCodec::Quant { bits: 4 });
+    }
+
+    #[test]
+    #[should_panic(expected = "top-k")]
+    fn zero_topk_rejected() {
+        let _ = RuntimeConfig::barrier(0).with_update_codec(UpdateCodec::TopK { k: 0 });
     }
 
     #[test]

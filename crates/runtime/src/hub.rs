@@ -40,7 +40,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use fml_sim::{FramePool, Message, LENGTH_PREFIX_LEN};
+use fml_sim::{logical_frame_len, FramePool, Message, LENGTH_PREFIX_LEN};
 
 use crate::report::NodeIo;
 use crate::transport::{Transport, TransportError, TransportListener};
@@ -66,6 +66,10 @@ struct PeerCounters {
     frames_from: AtomicUsize,
     /// Physical bytes read from the peer.
     bytes_from: AtomicUsize,
+    /// Logical bytes of the updates read: what each update frame would
+    /// have cost as a dense tag-2 frame (the compression-ratio
+    /// denominator). Non-update frames contribute nothing.
+    bytes_from_logical: AtomicUsize,
 }
 
 /// One node's slot in the fleet table.
@@ -258,6 +262,8 @@ impl Hub {
                 bytes_received: slot.counters.bytes_to.load(Ordering::Acquire) as u64,
                 frames_sent: slot.counters.frames_from.load(Ordering::Acquire) as u64,
                 bytes_sent: slot.counters.bytes_from.load(Ordering::Acquire) as u64,
+                bytes_sent_logical: slot.counters.bytes_from_logical.load(Ordering::Acquire)
+                    as u64,
                 reconnects: slot.reconnects,
             })
             .collect()
@@ -450,6 +456,11 @@ fn reader_loop(
                 counters
                     .bytes_from
                     .fetch_add(frame.len() + LENGTH_PREFIX_LEN, Ordering::AcqRel);
+                if let Some(logical) = logical_frame_len(&frame) {
+                    counters
+                        .bytes_from_logical
+                        .fetch_add(logical + LENGTH_PREFIX_LEN, Ordering::AcqRel);
+                }
                 if in_tx.send(frame).is_err() {
                     break;
                 }

@@ -11,6 +11,11 @@
 //! * every hop carries an **encoded wire frame** ([`fml_sim::Message`]),
 //!   so the hardened decode path runs on all traffic and byte counts
 //!   are real serialized sizes;
+//! * update replies can ride **wire-v2 compressed frames** behind the
+//!   [`UpdateCodec`] seam: per-chunk quantization or error-feedback
+//!   top-k sparsification shrink uplink bytes, while
+//!   [`UpdateCodec::None`] preserves the historical dense path bitwise
+//!   (the platform decodes every codec unconditionally);
 //! * a **platform event loop** owns the global parameters and drives
 //!   aggregation, reusing `fml_core::gather` validation/quorum and the
 //!   seeded `FaultPlan` so crashed or straggling node threads degrade
@@ -85,6 +90,7 @@ pub mod transport;
 
 pub use clock::VirtualClock;
 pub use config::{AsyncPolicy, CheckpointConfig, Mode, RecoveryConfig, RuntimeConfig};
+pub use fml_sim::UpdateCodec;
 pub use health::{HealthPolicy, HealthTracker, NodeHealth, NodeHealthReport};
 pub use platform::{Runtime, RuntimeOutput};
 pub use report::{param_hash, NodeIo, PoolStatsReport, RuntimeReport};

@@ -52,7 +52,7 @@ use fml_core::parallel::default_threads;
 use fml_core::{aggregate, Fault, LocalStepper, RoundRecord, SourceTask, TrainOutput};
 use fml_models::Model;
 use fml_sim::message::{encode_global_into, encoded_frame_len};
-use fml_sim::{FramePool, MessageView, RoundTrace};
+use fml_sim::{CompressedView, FramePool, MessageView, RoundTrace};
 
 use crate::actor::{run_transport_peer, worker_loop, NodeActor, WorkerCtx};
 use crate::config::{AsyncPolicy, Mode, RuntimeConfig};
@@ -173,6 +173,7 @@ impl Runtime {
             faults: &self.cfg.faults,
             local_steps,
             recv_timeout: Duration::from_millis(self.cfg.recv_timeout_ms),
+            codec: self.cfg.update_codec,
         };
 
         std::thread::scope(|scope| {
@@ -215,6 +216,7 @@ impl Runtime {
                     },
                     transport: "channel".into(),
                     threads: workers,
+                    update_codec: self.cfg.update_codec.to_string(),
                     ..RuntimeReport::default()
                 },
                 history: Vec::new(),
@@ -333,6 +335,7 @@ impl Runtime {
                 transport: kind.into(),
                 // Node compute runs in the peers' processes.
                 threads: 0,
+                update_codec: self.cfg.update_codec.to_string(),
                 ..RuntimeReport::default()
             },
             history: Vec::new(),
@@ -403,6 +406,7 @@ impl Runtime {
             faults: &self.cfg.faults,
             local_steps: stepper.local_steps(),
             recv_timeout: Duration::from_millis(self.cfg.recv_timeout_ms),
+            codec: self.cfg.update_codec,
         };
         run_transport_peer(&ctx, node, link)
     }
@@ -435,6 +439,61 @@ impl Peers {
         match self {
             Peers::Direct(_) => Vec::new(),
             Peers::Hub(hub) => hub.take_rejoined(),
+        }
+    }
+}
+
+/// One parsed uplink frame. The platform accepts both wire families on
+/// the uplink no matter which codec the nodes were configured with:
+/// decode routing is driven by the frame itself, never by config.
+enum UplinkFrame<'a> {
+    /// A model update (dense tag-2 or compressed tag-6).
+    Update {
+        node: usize,
+        frame_round: usize,
+        params: UpdateParams<'a>,
+    },
+    /// A valid frame that is not an update — a protocol violation on
+    /// this link, triaged as undelivered.
+    Other,
+    /// Neither wire family could parse it.
+    Bad,
+}
+
+/// Borrowed parameter view behind an uplink update.
+enum UpdateParams<'a> {
+    Dense(MessageView<'a>),
+    Compressed(CompressedView<'a>),
+}
+
+impl<'a> UplinkFrame<'a> {
+    fn parse(frame: &'a [u8]) -> UplinkFrame<'a> {
+        match MessageView::parse(frame) {
+            Ok(view) if view.is_update() => UplinkFrame::Update {
+                node: view.node() as usize,
+                frame_round: view.round() as usize,
+                params: UpdateParams::Dense(view),
+            },
+            Ok(_) => UplinkFrame::Other,
+            Err(_) => match CompressedView::parse(frame) {
+                Ok(view) => UplinkFrame::Update {
+                    node: view.node() as usize,
+                    frame_round: view.round() as usize,
+                    params: UpdateParams::Compressed(view),
+                },
+                Err(_) => UplinkFrame::Bad,
+            },
+        }
+    }
+}
+
+impl UpdateParams<'_> {
+    /// Materializes the update (dequantizing or zero-filling dropped
+    /// coordinates as the scheme requires).
+    fn to_vec(&self) -> Vec<f64> {
+        match self {
+            UpdateParams::Dense(v) => v.params_to_vec(),
+            UpdateParams::Compressed(v) => v.params_to_vec(),
         }
     }
 }
@@ -703,24 +762,27 @@ impl Platform<'_> {
                 Err(RecvTimeoutError::Disconnected) => break,
             };
             bytes += received.len() as u64;
-            match MessageView::parse(&received) {
-                Ok(view) if view.is_update() => {
-                    let node = view.node() as usize;
-                    if view.round() as usize == round
+            // Uplink updates arrive in either wire family — dense tag-2
+            // or compressed tag-6 — regardless of the configured codec:
+            // the codec drives the encode side only, so the `none`
+            // conformance path never depends on decode routing.
+            match UplinkFrame::parse(&received) {
+                UplinkFrame::Update { node, frame_round, params } => {
+                    if frame_round == round
                         && expected.contains(&node)
                         && !got.contains_key(&node)
                     {
                         // The only materialization on the receive path:
                         // the update must outlive the frame it rode in.
-                        got.insert(node, view.params_to_vec());
+                        got.insert(node, params.to_vec());
                     } else {
                         // A frame for an already-closed round (or a
                         // duplicate): its round has moved on without it.
                         self.report.undelivered += 1;
                     }
                 }
-                Ok(_) => self.report.undelivered += 1,
-                Err(_) => self.report.decode_errors += 1,
+                UplinkFrame::Other => self.report.undelivered += 1,
+                UplinkFrame::Bad => self.report.decode_errors += 1,
             }
             // The frame is spent; its storage serves a future encode.
             self.pool.recycle(received);
@@ -1121,6 +1183,60 @@ mod tests {
         assert_eq!(out.train.history.len(), 3);
         assert!(out.train.history.iter().all(|r| r.degraded));
         assert!(out.train.params.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn topk_codec_shrinks_uplink_and_is_thread_invariant() {
+        use crate::UpdateCodec;
+        let (model, tasks, theta0) = setup(4);
+        let trainer = fedml(4);
+        let cfg = |threads| {
+            RuntimeConfig::barrier(3)
+                .with_threads(threads)
+                .with_update_codec(UpdateCodec::TopK { k: 2 })
+        };
+        let one = Runtime::new(cfg(1)).run(&trainer, &model, &tasks, &theta0);
+        let four = Runtime::new(cfg(4)).run(&trainer, &model, &tasks, &theta0);
+        // Error-feedback residuals are keyed by node, not by worker, so
+        // the partition of actors onto threads cannot change results.
+        assert_eq!(one.train.params, four.train.params);
+        assert_eq!(one.report.update_codec, "topk2");
+        let ratio = one.report.uplink_compression_ratio().expect("counters present");
+        assert!(ratio >= 3.0, "uplink compression ratio {ratio} < 3");
+        assert!(one.train.params.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn quant_codec_tracks_dense_and_dense_codec_is_exact() {
+        use crate::UpdateCodec;
+        let (model, tasks, theta0) = setup(3);
+        let trainer = fedml(3);
+        let reference =
+            Runtime::new(RuntimeConfig::barrier(5)).run(&trainer, &model, &tasks, &theta0);
+        assert_eq!(reference.report.update_codec, "none");
+        assert_eq!(
+            reference.report.uplink_bytes_logical(),
+            reference.report.uplink_bytes(),
+            "the none codec is its own logical baseline"
+        );
+        // The explicit dense tag-6 codec is numerically exact, so the
+        // trajectory lands on the reference bitwise.
+        let dense = Runtime::new(
+            RuntimeConfig::barrier(5).with_update_codec(UpdateCodec::Dense),
+        )
+        .run(&trainer, &model, &tasks, &theta0);
+        assert_eq!(dense.train.params, reference.train.params);
+        // 16-bit quantization drifts, but only within its epsilon per
+        // round — the trajectory stays close over a short run.
+        let quant = Runtime::new(
+            RuntimeConfig::barrier(5).with_update_codec(UpdateCodec::Quant { bits: 16 }),
+        )
+        .run(&trainer, &model, &tasks, &theta0);
+        assert_eq!(quant.report.update_codec, "quant16");
+        assert!(quant.report.uplink_compression_ratio().expect("counters") > 2.0);
+        for (a, b) in reference.train.params.iter().zip(&quant.train.params) {
+            assert!((a - b).abs() < 1e-2, "quantized run drifted: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -24,6 +24,13 @@ pub struct NodeIo {
     pub frames_received: u64,
     /// Bytes of encoded update frames sent.
     pub bytes_sent: u64,
+    /// *Logical* bytes of the updates sent: what the same updates would
+    /// have cost as dense tag-2 frames. Equal to
+    /// [`bytes_sent`](Self::bytes_sent) under the `none`/`dense` codecs
+    /// (modulo framing overhead); larger under a compressing codec —
+    /// the gap is the uplink compression win.
+    #[serde(default)]
+    pub bytes_sent_logical: u64,
     /// Bytes of encoded broadcast frames received.
     pub bytes_received: u64,
     /// Times this peer's link was replaced by a reconnect (socket
@@ -49,6 +56,10 @@ pub struct RuntimeReport {
     /// Worker OS threads the node actors ran on (0 when nodes are
     /// remote processes reached over a socket transport).
     pub threads: usize,
+    /// Update codec the node actors encoded with (`"none"`, `"dense"`,
+    /// `"quant8"`, `"topk32"`, …). Empty on pre-codec reports.
+    #[serde(default)]
+    pub update_codec: String,
     /// Per-node frame/byte counters, indexed by node id.
     pub per_node: Vec<NodeIo>,
     /// `staleness_hist[s]` = accepted updates applied at staleness `s`.
@@ -149,6 +160,30 @@ impl RuntimeReport {
             .sum()
     }
 
+    /// Total *physical* uplink bytes (update frames as encoded).
+    pub fn uplink_bytes(&self) -> u64 {
+        self.per_node.iter().map(|n| n.bytes_sent).sum()
+    }
+
+    /// Total *logical* uplink bytes: what the same updates would have
+    /// cost dense. 0 on pre-codec reports.
+    pub fn uplink_bytes_logical(&self) -> u64 {
+        self.per_node.iter().map(|n| n.bytes_sent_logical).sum()
+    }
+
+    /// Uplink compression ratio, `logical / physical` (1.0 means no
+    /// compression; ≥ 3.0 is the top-k target). `None` when either
+    /// side is zero (no updates, or a pre-codec report).
+    pub fn uplink_compression_ratio(&self) -> Option<f64> {
+        let physical = self.uplink_bytes();
+        let logical = self.uplink_bytes_logical();
+        if physical == 0 || logical == 0 {
+            None
+        } else {
+            Some(logical as f64 / physical as f64)
+        }
+    }
+
     /// Accepted updates across all staleness levels.
     pub fn accepted_updates(&self) -> u64 {
         self.staleness_hist.iter().sum()
@@ -195,12 +230,14 @@ mod tests {
             mode: "async".into(),
             transport: "channel".into(),
             threads: 4,
+            update_codec: "topk16".into(),
             per_node: vec![
                 NodeIo {
                     node: 0,
                     frames_sent: 10,
                     frames_received: 10,
                     bytes_sent: 1000,
+                    bytes_sent_logical: 4000,
                     bytes_received: 990,
                     reconnects: 0,
                 },
@@ -209,6 +246,7 @@ mod tests {
                     frames_sent: 8,
                     frames_received: 10,
                     bytes_sent: 800,
+                    bytes_sent_logical: 3200,
                     bytes_received: 990,
                     reconnects: 1,
                 },
@@ -248,6 +286,21 @@ mod tests {
     }
 
     #[test]
+    fn uplink_compression_ratio_from_logical_counters() {
+        let r = sample();
+        assert_eq!(r.uplink_bytes(), 1800);
+        assert_eq!(r.uplink_bytes_logical(), 7200);
+        assert_eq!(r.uplink_compression_ratio(), Some(4.0));
+        // Pre-codec reports (no logical counters) have no ratio.
+        let mut old = sample();
+        for io in &mut old.per_node {
+            io.bytes_sent_logical = 0;
+        }
+        assert_eq!(old.uplink_compression_ratio(), None);
+        assert_eq!(RuntimeReport::default().uplink_compression_ratio(), None);
+    }
+
+    #[test]
     fn report_roundtrips_through_json() {
         let r = sample();
         let json = serde_json::to_string(&r).unwrap();
@@ -281,6 +334,9 @@ mod tests {
         assert_eq!(r.resumed_at_round, None);
         // PR-8 pool stats default too.
         assert_eq!(r.pool, PoolStatsReport::default());
+        // PR-9 codec fields default too.
+        assert_eq!(r.update_codec, "");
+        assert_eq!(r.per_node[0].bytes_sent_logical, 0);
     }
 
     #[test]

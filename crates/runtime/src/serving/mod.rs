@@ -53,7 +53,7 @@ mod client;
 mod report;
 
 pub use client::{AdaptClient, AdaptOutcome};
-pub use report::{LatencyReport, RoundServed, ServingReport, LATENCY_BUCKETS};
+pub use report::{LatencyReport, PoolRound, RoundServed, ServingReport, LATENCY_BUCKETS};
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -75,7 +75,7 @@ use fml_sim::{FramePool, RejectReason, SampleKind};
 
 use crate::report::PoolStatsReport;
 use crate::transport::{Transport, TransportListener};
-use report::{LatencyRecorder, RoundTally};
+use report::{LatencyRecorder, PoolRoundTracker, RoundTally};
 
 /// Idle-poll granularity for the accept loop, conn-thread reads, and
 /// worker dequeues: how quickly the server notices a shutdown request.
@@ -294,6 +294,7 @@ struct Stats {
     bytes_out: AtomicU64,
     latency: LatencyRecorder,
     served_rounds: RoundTally,
+    pool_rounds: PoolRoundTracker,
 }
 
 impl Stats {
@@ -310,6 +311,7 @@ impl Stats {
             bytes_out: AtomicU64::new(0),
             latency: LatencyRecorder::new(),
             served_rounds: RoundTally::default(),
+            pool_rounds: PoolRoundTracker::default(),
         }
     }
 }
@@ -418,6 +420,7 @@ impl AdaptServer {
         let stats = &self.state.stats;
         let elapsed_s = self.state.started.elapsed().as_secs_f64();
         let responses = stats.responses.load(Ordering::Relaxed);
+        let pool_now = FramePool::global().stats();
         ServingReport {
             transport: self.state.transport.into(),
             workers: self.state.cfg.workers.max(1),
@@ -438,7 +441,10 @@ impl AdaptServer {
             },
             latency: stats.latency.snapshot(),
             served_rounds: stats.served_rounds.snapshot(),
-            pool: PoolStatsReport::from(FramePool::global().stats()),
+            pool_rounds: stats
+                .pool_rounds
+                .snapshot(pool_now.hits as u64, pool_now.misses as u64),
+            pool: PoolStatsReport::from(pool_now),
         }
     }
 
@@ -658,6 +664,13 @@ fn handle_job(
         pool.recycle(job.frame);
         return;
     };
+    // Open (or continue) this round's pool window *before* the reply
+    // touches the pool, so the window boundary sits between rounds and
+    // each round's delta is exactly its own traffic.
+    let ps = FramePool::global().stats();
+    stats
+        .pool_rounds
+        .observe(snap.round, ps.hits as u64, ps.misses as u64);
     adapt_into(
         state.model.as_ref(),
         &snap.params,

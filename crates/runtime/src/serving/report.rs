@@ -109,6 +109,22 @@ pub struct RoundServed {
     pub count: u64,
 }
 
+/// Frame-pool activity attributed to one served global round: the
+/// counter **delta** between this round's first reply and the next
+/// round's first reply — not the cumulative process-wide totals, which
+/// would overstate early rounds and dilute late ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PoolRound {
+    /// Training round of the global serving this window.
+    pub round: u32,
+    /// Pool acquisitions served from the free-list in this window.
+    pub hits: u64,
+    /// Pool acquisitions that had to allocate in this window.
+    pub misses: u64,
+    /// `hits / (hits + misses)` for this window alone (0 when idle).
+    pub hit_rate: f64,
+}
+
 /// What the adaptation service observed over its lifetime.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ServingReport {
@@ -146,6 +162,10 @@ pub struct ServingReport {
     pub served_rounds: Vec<RoundServed>,
     /// Frame-pool counters at report time (process-wide pool).
     pub pool: PoolStatsReport,
+    /// Per-round frame-pool deltas, one window per served global round
+    /// in serving order. Absent in reports from older builds.
+    #[serde(default)]
+    pub pool_rounds: Vec<PoolRound>,
 }
 
 impl ServingReport {
@@ -211,7 +231,16 @@ impl std::fmt::Display for ServingReport {
             self.pool.hits,
             self.pool.misses,
             self.pool.high_water
-        )
+        )?;
+        if !self.pool_rounds.is_empty() {
+            let windows: Vec<String> = self
+                .pool_rounds
+                .iter()
+                .map(|w| format!("r{}:{:.0}%", w.round, w.hit_rate * 100.0))
+                .collect();
+            write!(f, "\npool/round {}", windows.join(" "))?;
+        }
+        Ok(())
     }
 }
 
@@ -240,6 +269,79 @@ impl RoundTally {
             .iter()
             .map(|(&round, &count)| RoundServed { round, count })
             .collect()
+    }
+}
+
+/// Shared tracker turning cumulative frame-pool counters into
+/// per-round windows. Workers call [`observe`](PoolRoundTracker::observe)
+/// with the counters read *before* a reply for a round touches the
+/// pool; the tracker closes the previous round's window at that
+/// boundary, so each [`PoolRound`] reflects only its own round's
+/// acquisitions instead of everything since process start.
+#[derive(Debug, Default)]
+pub(crate) struct PoolRoundTracker {
+    inner: Mutex<PoolWindows>,
+}
+
+#[derive(Debug, Default)]
+struct PoolWindows {
+    open: Option<Window>,
+    closed: Vec<PoolRound>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    round: u32,
+    hits0: u64,
+    misses0: u64,
+}
+
+fn close_window(w: Window, hits: u64, misses: u64) -> PoolRound {
+    let h = hits.saturating_sub(w.hits0);
+    let m = misses.saturating_sub(w.misses0);
+    PoolRound {
+        round: w.round,
+        hits: h,
+        misses: m,
+        hit_rate: if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        },
+    }
+}
+
+impl PoolRoundTracker {
+    /// Notes that the next pool traffic belongs to `round`, given the
+    /// cumulative pool counters right now. A no-op while `round` is
+    /// already the open window; on a round change it freezes the old
+    /// window's delta and starts the new one at the current counters.
+    pub(crate) fn observe(&self, round: u32, hits: u64, misses: u64) {
+        let mut w = self.inner.lock().expect("pool tracker poisoned");
+        match w.open {
+            Some(open) if open.round == round => {}
+            _ => {
+                if let Some(open) = w.open.take() {
+                    w.closed.push(close_window(open, hits, misses));
+                }
+                w.open = Some(Window {
+                    round,
+                    hits0: hits,
+                    misses0: misses,
+                });
+            }
+        }
+    }
+
+    /// The per-round series so far, closing the still-open window at
+    /// the given cumulative counters (without ending it).
+    pub(crate) fn snapshot(&self, hits: u64, misses: u64) -> Vec<PoolRound> {
+        let w = self.inner.lock().expect("pool tracker poisoned");
+        let mut out = w.closed.clone();
+        if let Some(open) = w.open {
+            out.push(close_window(open, hits, misses));
+        }
+        out
     }
 }
 
@@ -295,6 +397,67 @@ mod tests {
     }
 
     #[test]
+    fn pool_rounds_are_deltas_not_cumulative_counters() {
+        // The original bug: the report carried only the process-wide
+        // cumulative pool counters read at shutdown, so "round 2's hit
+        // rate" was really "everything since process start". The
+        // tracker must attribute each window only its own traffic.
+        let t = PoolRoundTracker::default();
+        // Round 1 starts with 10 hits / 10 misses already on the books.
+        t.observe(1, 10, 10);
+        // Round 2 starts after round 1 added 90 hits / 0 misses.
+        t.observe(2, 100, 10);
+        // Round 2 adds 5 hits / 15 misses before the report.
+        let snap = t.snapshot(105, 25);
+        assert_eq!(
+            snap,
+            vec![
+                PoolRound {
+                    round: 1,
+                    hits: 90,
+                    misses: 0,
+                    hit_rate: 1.0,
+                },
+                PoolRound {
+                    round: 2,
+                    hits: 5,
+                    misses: 15,
+                    hit_rate: 0.25,
+                },
+            ],
+            "round 2 must reflect only round 2's pool traffic"
+        );
+        // Repeated observes within the open round do not move its base.
+        t.observe(2, 200, 40);
+        let snap = t.snapshot(300, 50);
+        assert_eq!(snap[1].hits, 200);
+        assert_eq!(snap[1].misses, 40);
+    }
+
+    #[test]
+    fn pool_round_tracker_is_idle_safe_and_live_snapshot_does_not_close() {
+        let t = PoolRoundTracker::default();
+        assert!(t.snapshot(7, 7).is_empty(), "no rounds, no windows");
+        t.observe(4, 7, 7);
+        // A live report half-way through the window ...
+        assert_eq!(
+            t.snapshot(9, 7),
+            vec![PoolRound {
+                round: 4,
+                hits: 2,
+                misses: 0,
+                hit_rate: 1.0,
+            }]
+        );
+        // ... must not end it: later traffic still lands in round 4.
+        assert_eq!(t.snapshot(12, 8)[0].hits, 5);
+        // An idle window reports a 0 rate, not NaN.
+        t.observe(5, 12, 8);
+        let snap = t.snapshot(12, 8);
+        assert_eq!(snap[1].hit_rate, 0.0);
+    }
+
+    #[test]
     fn report_roundtrips_through_json_and_displays() {
         let rep = ServingReport {
             transport: "tcp".into(),
@@ -308,6 +471,12 @@ mod tests {
             elapsed_s: 2.0,
             qps: 4.0,
             served_rounds: vec![RoundServed { round: 3, count: 8 }],
+            pool_rounds: vec![PoolRound {
+                round: 3,
+                hits: 8,
+                misses: 2,
+                hit_rate: 0.8,
+            }],
             ..ServingReport::default()
         };
         let json = serde_json::to_string(&rep).unwrap();
@@ -318,5 +487,13 @@ mod tests {
         let shown = rep.to_string();
         assert!(shown.contains("8 responses"));
         assert!(shown.contains("r3:8"));
+        assert!(shown.contains("pool/round r3:80%"), "{shown}");
+        // Reports from builds predating the per-round series parse
+        // with an empty series.
+        let series = serde_json::to_string(&rep.pool_rounds).unwrap();
+        let without = json.replace(&format!(",\"pool_rounds\":{series}"), "");
+        assert_ne!(without, json, "the field must have been stripped");
+        let old: ServingReport = serde_json::from_str(&without).unwrap();
+        assert!(old.pool_rounds.is_empty());
     }
 }

@@ -10,6 +10,9 @@
 //! * [`message`] — the wire protocol: length-prefixed binary frames for
 //!   model broadcasts and updates, so byte counts are real serialized
 //!   sizes, not estimates;
+//! * [`codec`] — wire v2 compressed update frames (dense, per-chunk
+//!   quantized, top-k sparse) behind an [`UpdateCodec`] seam whose
+//!   `none` setting preserves today's bitwise path;
 //! * [`framing`] — the stream layer below it: a `u32` length prefix per
 //!   frame plus [`FrameBuffer`], the partial-read-hardened incremental
 //!   decoder real sockets need;
@@ -26,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod codec;
 pub mod energy;
 pub mod framing;
 pub mod message;
@@ -36,6 +40,10 @@ pub mod stats;
 pub mod trace;
 
 pub use adaptive::{run_adaptive_fedml, AdaptiveOutput, AdaptiveT0Config};
+pub use codec::{
+    compressed_frame_len, encode_update_compressed_into, logical_frame_len, quant_epsilon,
+    CodecScratch, CompressedView, UpdateCodec, COMPRESSED_MIN_VERSION, QUANT_CHUNK,
+};
 pub use energy::{EnergyModel, EnergyStats};
 pub use framing::{prefix_frame, FrameBuffer, FrameError, LENGTH_PREFIX_LEN, MAX_FRAME_LEN};
 pub use message::{

@@ -55,10 +55,10 @@ pub const ADAPT_MIN_VERSION: u8 = 2;
 
 /// High bit marking the first byte of a frame as a version byte rather
 /// than a (legacy, v0) tag byte.
-const VERSION_MARKER: u8 = 0x80;
+pub(crate) const VERSION_MARKER: u8 = 0x80;
 
-const TAG_GLOBAL: u8 = 1;
-const TAG_UPDATE: u8 = 2;
+pub(crate) const TAG_GLOBAL: u8 = 1;
+pub(crate) const TAG_UPDATE: u8 = 2;
 const TAG_ADAPT_REQUEST: u8 = 3;
 const TAG_ADAPT_RESPONSE: u8 = 4;
 const TAG_ADAPT_REJECT: u8 = 5;

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Codec smoke gate: one seeded federation trained three times through
+# the CLI — dense baseline (no flag), `--update-codec none`, and
+# `--update-codec topk`. The gate requires:
+#   * `none` is hash-equal to the baseline: the codec seam is provably
+#     bitwise-inert on the default path;
+#   * top-k shrinks physical uplink bytes >= 3x vs the dense-equivalent
+#     logical byte count the report carries alongside;
+#   * top-k's final query loss stays within tolerance of the dense run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build -q -p fml-cli --bin fedml
+BIN=target/debug/fedml
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+# dim 6 x 3 classes -> 21 model parameters; --topk 2 keeps 2 of 21.
+cat > "$work/cfg.json" <<'EOF'
+{
+  "seed": 13,
+  "source_frac": 0.75,
+  "dataset": {
+    "kind": "synthetic",
+    "alpha": 0.5,
+    "beta": 0.5,
+    "nodes": 8,
+    "dim": 6,
+    "classes": 3,
+    "mean_samples": 18.0
+  },
+  "model": { "kind": "softmax", "l2": 0.001 },
+  "algorithm": {
+    "kind": "fedml",
+    "alpha": 0.05,
+    "beta": 0.05,
+    "local_steps": 2,
+    "rounds": 6,
+    "first_order": false
+  },
+  "simulate": null,
+  "eval": { "k": 4, "adapt_steps": 3, "adapt_lr": 0.05, "fgsm_xi": null }
+}
+EOF
+
+"$BIN" runtime "$work/cfg.json" --json "$work/base.json" > /dev/null
+"$BIN" runtime "$work/cfg.json" --update-codec none \
+    --json "$work/none.json" > /dev/null
+"$BIN" runtime "$work/cfg.json" --update-codec topk --topk 2 \
+    --json "$work/topk.json" > /dev/null
+
+hash_of() {
+    sed -n 's/.*"param_hash": "\([0-9a-f]\{16\}\)".*/\1/p' "$1" | head -n 1
+}
+int_field() {
+    sed -n "s/.*\"$1\": \([0-9][0-9]*\).*/\1/p" "$2" | head -n 1
+}
+loss_of() {
+    sed -n 's/.*"final_loss": \([-0-9.eE+]*\),*.*/\1/p' "$1" | head -n 1
+}
+
+# 1. The seam is inert: `--update-codec none` cannot move a bit.
+base_hash=$(hash_of "$work/base.json")
+none_hash=$(hash_of "$work/none.json")
+if [ -z "$base_hash" ] || [ "$base_hash" != "$none_hash" ]; then
+    echo "compress smoke: 'none' codec perturbed the run: baseline=$base_hash none=$none_hash" >&2
+    exit 1
+fi
+
+# 2. Top-k really compresses: physical uplink bytes at least 3x under
+# the dense-equivalent logical count.
+physical=$(int_field uplink_bytes "$work/topk.json")
+logical=$(int_field uplink_bytes_logical "$work/topk.json")
+if [ -z "$physical" ] || [ -z "$logical" ] || [ "$physical" -eq 0 ]; then
+    echo "compress smoke: missing uplink byte counters in topk report" >&2
+    exit 1
+fi
+if [ $((physical * 3)) -gt "$logical" ]; then
+    echo "compress smoke: uplink shrank only ${logical}B -> ${physical}B (< 3x)" >&2
+    exit 1
+fi
+
+# 3. Compression stays within the accuracy budget: the adapted
+# query loss on held-out targets must sit near the dense run's.
+base_loss=$(loss_of "$work/base.json")
+topk_loss=$(loss_of "$work/topk.json")
+if [ -z "$base_loss" ] || [ -z "$topk_loss" ]; then
+    echo "compress smoke: missing final_loss in reports" >&2
+    exit 1
+fi
+if ! awk -v a="$base_loss" -v b="$topk_loss" \
+    'BEGIN { d = a - b; if (d < 0) d = -d; exit !(d <= 0.25) }'; then
+    echo "compress smoke: query loss drifted: dense=$base_loss topk=$topk_loss (tol 0.25)" >&2
+    exit 1
+fi
+
+# The topk report must say what it did.
+if ! grep -q '"update_codec": "topk2"' "$work/topk.json"; then
+    echo "compress smoke: topk report does not carry its codec name" >&2
+    exit 1
+fi
+
+ratio=$(awk -v l="$logical" -v p="$physical" 'BEGIN { printf "%.1f", l / p }')
+echo "compress smoke: OK (none bitwise-equal; topk uplink ${logical}B -> ${physical}B, ${ratio}x, loss ${base_loss} -> ${topk_loss})"

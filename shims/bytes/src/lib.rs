@@ -155,8 +155,14 @@ pub trait Buf {
     /// Reads one byte.
     fn get_u8(&mut self) -> u8;
 
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+
     /// Reads a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32;
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32;
 
     /// Reads a little-endian `f64`.
     fn get_f64_le(&mut self) -> f64;
@@ -173,9 +179,23 @@ impl Buf for &[u8] {
         *first
     }
 
+    fn get_u16_le(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        let value = u16::from_le_bytes(head.try_into().expect("2 bytes"));
+        *self = rest;
+        value
+    }
+
     fn get_u32_le(&mut self) -> u32 {
         let (head, rest) = self.split_at(4);
         let value = u32::from_le_bytes(head.try_into().expect("4 bytes"));
+        *self = rest;
+        value
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        let (head, rest) = self.split_at(4);
+        let value = f32::from_le_bytes(head.try_into().expect("4 bytes"));
         *self = rest;
         value
     }
@@ -193,8 +213,14 @@ pub trait BufMut {
     /// Appends one byte.
     fn put_u8(&mut self, v: u8);
 
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32);
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32);
 
     /// Appends a little-endian `f64`.
     fn put_f64_le(&mut self, v: f64);
@@ -208,7 +234,15 @@ impl BufMut for BytesMut {
         self.data.push(v);
     }
 
+    fn put_u16_le(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
     fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
         self.data.extend_from_slice(&v.to_le_bytes());
     }
 
@@ -227,15 +261,19 @@ mod tests {
 
     #[test]
     fn put_get_roundtrip() {
-        let mut buf = BytesMut::with_capacity(13);
+        let mut buf = BytesMut::with_capacity(19);
         buf.put_u8(7);
+        buf.put_u16_le(0xBEEF);
         buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_f32_le(0.25);
         buf.put_f64_le(-1.5);
         let frozen = buf.freeze();
-        assert_eq!(frozen.len(), 13);
+        assert_eq!(frozen.len(), 19);
         let mut cursor: &[u8] = &frozen;
         assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u16_le(), 0xBEEF);
         assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_f32_le(), 0.25);
         assert_eq!(cursor.get_f64_le(), -1.5);
         assert_eq!(cursor.remaining(), 0);
     }

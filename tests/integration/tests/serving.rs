@@ -215,6 +215,17 @@ fn unavailable_then_hot_swap_advances_served_round() {
     assert_eq!(report.responses, 2);
     let rounds: Vec<u32> = report.served_rounds.iter().map(|r| r.round).collect();
     assert_eq!(rounds, vec![1, 2]);
+    // The frame-pool series opened one window per served round — the
+    // per-round hit-rate fix: deltas between swaps, not the cumulative
+    // process-wide counters read once at shutdown.
+    let pool_rounds: Vec<u32> = report.pool_rounds.iter().map(|w| w.round).collect();
+    assert_eq!(pool_rounds, vec![1, 2]);
+    for w in &report.pool_rounds {
+        assert!(
+            (0.0..=1.0).contains(&w.hit_rate),
+            "window hit rate out of range: {w:?}"
+        );
+    }
 }
 
 #[test]
