@@ -1,0 +1,166 @@
+//! Criterion benches on the async aggregation policies: raw weight
+//! computation throughput per decay family, and (timed runs only) a
+//! convergence comparison — query loss round by round — of polynomial,
+//! hinge, and constant staleness decay plus buffered semi-async at
+//! `k ∈ {2, 4}` and adaptive mixing, on the same seeded jittery
+//! federation. Everything lands in an `async_policy` section of
+//! `BENCH_pr10.json` at the repository root (skipped in `--test` mode).
+
+use criterion::{black_box, Criterion};
+use fml_core::{weighted_meta_loss, FedMl, FedMlConfig};
+use fml_models::Model;
+use fml_runtime::{AsyncPolicy, Runtime, RuntimeConfig, StalenessDecay, VirtualClock};
+use rand::SeedableRng;
+
+/// Fixed training horizon for the convergence runs.
+const ROUNDS: usize = 16;
+const LOCAL_STEPS: usize = 2;
+const ALPHA: f64 = 0.05;
+
+/// The policy grid under comparison. Labels are stable bench ids.
+fn policies() -> Vec<(&'static str, AsyncPolicy)> {
+    vec![
+        ("poly", AsyncPolicy::default()),
+        (
+            "hinge",
+            AsyncPolicy::default().with_decay(StalenessDecay::Hinge { knee: 1 }),
+        ),
+        (
+            "const",
+            AsyncPolicy::default().with_decay(StalenessDecay::Const),
+        ),
+        ("buffer2", AsyncPolicy::default().with_buffer(2)),
+        ("buffer4", AsyncPolicy::default().with_buffer(4)),
+        ("adaptive", AsyncPolicy::default().with_adaptive_mix(true)),
+    ]
+}
+
+/// Weight-computation throughput per decay family: the per-update cost
+/// the platform pays inside the async fold loop.
+fn bench_weight(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_weight");
+    for (name, decay) in [
+        ("poly", StalenessDecay::Poly),
+        ("hinge", StalenessDecay::Hinge { knee: 1 }),
+        ("const", StalenessDecay::Const),
+    ] {
+        let policy = AsyncPolicy::default().with_decay(decay);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for s in 0..8usize {
+                    acc += policy.weight(black_box(0.125), black_box(8), black_box(s));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Timed-run-only convergence phase: the same seeded federation, with
+/// enough virtual-clock jitter that updates really arrive 0–2 rounds
+/// late, trained under each policy. Query loss per round comes from the
+/// runtime's own history; acceptance counters from its report.
+fn convergence_results() -> Vec<fml_bench::perf::PerfResult> {
+    let setup = fml_bench::workloads::synthetic(0.5, 0.5, 5, true, 11);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let theta0 = setup.model.init_params(&mut rng);
+    let trainer = FedMl::new(
+        FedMlConfig::new(ALPHA, ALPHA)
+            .with_rounds(ROUNDS)
+            .with_local_steps(LOCAL_STEPS)
+            .with_record_every(0),
+    );
+    let mut results = Vec::new();
+    for (name, policy) in policies() {
+        let cfg = RuntimeConfig::async_mode(17, policy)
+            .with_round_duration(1.0)
+            .with_clock(VirtualClock::new(17).with_base_delay(0.1).with_jitter(2.5));
+        let out = Runtime::new(cfg).run(&trainer, &setup.model, &setup.tasks, &theta0);
+        // The convergence curve itself: meta (query) loss vs round.
+        for rec in &out.train.history {
+            results.push(fml_bench::perf::PerfResult {
+                id: format!(
+                    "async_conv/{name}/round_{:02}_loss",
+                    rec.iteration / LOCAL_STEPS
+                ),
+                ns_per_iter: rec.meta_loss,
+            });
+        }
+        let final_loss =
+            weighted_meta_loss(&setup.model, &setup.tasks, &out.train.params, ALPHA);
+        results.push(fml_bench::perf::PerfResult {
+            id: format!("async_conv/{name}/final_query_loss"),
+            ns_per_iter: final_loss,
+        });
+        results.push(fml_bench::perf::PerfResult {
+            id: format!("async_conv/{name}/accepted_updates"),
+            ns_per_iter: out.report.accepted_updates() as f64,
+        });
+        results.push(fml_bench::perf::PerfResult {
+            id: format!("async_conv/{name}/rejected_stale"),
+            ns_per_iter: out.report.rejected_stale as f64,
+        });
+        if out.report.buffered_flushes > 0 {
+            results.push(fml_bench::perf::PerfResult {
+                id: format!("async_conv/{name}/buffered_flushes"),
+                ns_per_iter: out.report.buffered_flushes as f64,
+            });
+        }
+    }
+    results
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_weight(&mut c);
+
+    // Timed runs (not `--test`) record the perf trajectory.
+    if c.results().is_empty() {
+        return;
+    }
+    let mut results: Vec<fml_bench::perf::PerfResult> = c
+        .results()
+        .iter()
+        .map(|r| fml_bench::perf::PerfResult {
+            id: r.id.clone(),
+            ns_per_iter: r.ns_per_iter,
+        })
+        .collect();
+    results.extend(convergence_results());
+    let comparisons = [
+        // "speedup" here reads as a loss ratio: how each variant's
+        // final query loss compares to the polynomial default.
+        fml_bench::perf::comparison(
+            "final_loss_hinge_vs_poly",
+            &results,
+            "async_conv/hinge/final_query_loss",
+            "async_conv/poly/final_query_loss",
+        ),
+        fml_bench::perf::comparison(
+            "final_loss_const_vs_poly",
+            &results,
+            "async_conv/const/final_query_loss",
+            "async_conv/poly/final_query_loss",
+        ),
+        fml_bench::perf::comparison(
+            "final_loss_buffer4_vs_poly",
+            &results,
+            "async_conv/buffer4/final_query_loss",
+            "async_conv/poly/final_query_loss",
+        ),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+    fml_bench::perf::write_report_named(
+        "BENCH_pr10.json",
+        "async_policy",
+        fml_bench::perf::PerfSection {
+            host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            results,
+            comparisons,
+        },
+    );
+}

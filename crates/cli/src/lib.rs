@@ -46,8 +46,8 @@ use fml_models::{Activation, MlpBuilder, Model, SoftmaxRegression};
 use fml_runtime::{
     param_hash, serving::request_from_batch, AdaptClient, AdaptOutcome, AdaptServer, AsyncPolicy,
     FaultyTransport, LinkFaultPlan, NodeIo, Runtime, RuntimeConfig, ServingConfig, ServingReport,
-    SharedGlobal, TcpTransport, TcpTransportListener, Transport, TransportListener, UnixTransport,
-    UnixTransportListener, UpdateCodec, CONNECT_ATTEMPTS, CONNECT_BASE_DELAY,
+    SharedGlobal, StalenessDecay, TcpTransport, TcpTransportListener, Transport, TransportListener,
+    UnixTransport, UnixTransportListener, UpdateCodec, CONNECT_ATTEMPTS, CONNECT_BASE_DELAY,
 };
 use fml_sim::{Network, SimConfig, SimRunner};
 use rand::rngs::StdRng;
@@ -248,6 +248,14 @@ pub struct RuntimeOptions {
     /// Scripted link disconnect after this many received frames (the
     /// node process then exits; restart it to exercise reconnects).
     pub fault_disconnect_after: Option<u64>,
+    /// Staleness-decay family for async mode (`poly`, `hinge`,
+    /// `hinge:<knee>`, `const`); `None` keeps the polynomial default.
+    pub async_decay: Option<String>,
+    /// Semi-async buffer size for async mode (aggregate every `k`
+    /// accepted arrivals); `None` keeps the per-arrival default.
+    pub async_buffer: Option<usize>,
+    /// Enables per-node adaptive mixing in async mode.
+    pub adaptive_mix: bool,
     /// Update codec name (`none`, `dense`, `quant`, `topk`); `None`
     /// keeps the bitwise dense path.
     pub update_codec: Option<String>,
@@ -282,6 +290,9 @@ impl Default for RuntimeOptions {
             fault_delay_prob: 0.0,
             fault_delay_ms: 0,
             fault_disconnect_after: None,
+            async_decay: None,
+            async_buffer: None,
+            adaptive_mix: false,
             update_codec: None,
             topk: None,
             quant_bits: None,
@@ -405,6 +416,44 @@ fn parse_update_codec(opts: &RuntimeOptions) -> Result<UpdateCodec, String> {
     }
 }
 
+/// Resolves the `--async-decay`/`--async-buffer`/`--adaptive-mix` flag
+/// family into an [`AsyncPolicy`], then validates every field — the
+/// struct's public fields would otherwise let an invalid policy (NaN
+/// mix, negative decay exponent, zero buffer) straight through to the
+/// fold loop.
+fn parse_async_policy(opts: &RuntimeOptions) -> Result<AsyncPolicy, String> {
+    let mut policy = AsyncPolicy::default().with_max_staleness(opts.max_staleness);
+    if let Some(name) = opts.async_decay.as_deref() {
+        let decay = match name {
+            "poly" => StalenessDecay::Poly,
+            "const" => StalenessDecay::Const,
+            "hinge" => StalenessDecay::Hinge { knee: 0 },
+            other => match other.strip_prefix("hinge:") {
+                Some(knee) => StalenessDecay::Hinge {
+                    knee: knee
+                        .parse()
+                        .map_err(|e| format!("bad hinge knee {knee}: {e}"))?,
+                },
+                None => {
+                    return Err(format!(
+                        "unknown async decay {other} (poly|hinge|hinge:<knee>|const)"
+                    ))
+                }
+            },
+        };
+        policy = policy.with_decay(decay);
+    }
+    if let Some(k) = opts.async_buffer {
+        if k == 0 {
+            return Err("--async-buffer must be at least 1".into());
+        }
+        policy = policy.with_buffer(k);
+    }
+    policy.adaptive_mix = opts.adaptive_mix;
+    policy.validate()?;
+    Ok(policy)
+}
+
 /// The [`RuntimeConfig`] the options describe, at `seed`. Shared by the
 /// platform and every node process, so the seeded fault plan (and with
 /// it each node's crash/corrupt schedule) agrees across the fleet
@@ -412,16 +461,20 @@ fn parse_update_codec(opts: &RuntimeOptions) -> Result<UpdateCodec, String> {
 ///
 /// # Errors
 ///
-/// Returns a human-readable message when the codec flags are
-/// inconsistent.
+/// Returns a human-readable message when the codec or async-policy
+/// flags are inconsistent.
 fn build_runtime_config(opts: &RuntimeOptions, seed: u64) -> Result<RuntimeConfig, String> {
     let codec = parse_update_codec(opts)?;
     let mut rt_cfg = match opts.mode {
-        RuntimeMode::Barrier => RuntimeConfig::barrier(seed),
-        RuntimeMode::Async => RuntimeConfig::async_mode(
-            seed,
-            AsyncPolicy::default().with_max_staleness(opts.max_staleness),
-        ),
+        RuntimeMode::Barrier => {
+            if opts.async_decay.is_some() || opts.async_buffer.is_some() || opts.adaptive_mix {
+                return Err(
+                    "--async-decay/--async-buffer/--adaptive-mix require --mode async".into(),
+                );
+            }
+            RuntimeConfig::barrier(seed)
+        }
+        RuntimeMode::Async => RuntimeConfig::async_mode(seed, parse_async_policy(opts)?),
     };
     if let Some(threads) = opts.threads {
         rt_cfg = rt_cfg.with_threads(threads);
@@ -1431,6 +1484,76 @@ mod tests {
                 update_codec: Some("zstd".into()),
                 ..RuntimeOptions::default()
             },
+        ];
+        for opts in bad {
+            assert!(run_runtime(&cfg, &opts).is_err(), "{opts:?} should fail");
+        }
+    }
+
+    #[test]
+    fn runtime_async_policy_flags_parse_and_report() {
+        let cfg = tiny(AlgorithmConfig::Fedavg {
+            lr: 0.05,
+            local_steps: 2,
+            rounds: 4,
+        });
+        let async_opts = |decay: Option<&str>, buffer: Option<usize>, adaptive| RuntimeOptions {
+            mode: RuntimeMode::Async,
+            max_staleness: 2,
+            async_decay: decay.map(String::from),
+            async_buffer: buffer,
+            adaptive_mix: adaptive,
+            ..RuntimeOptions::default()
+        };
+
+        // Spelling out the defaults is the identity: same bits as the
+        // bare async mode.
+        let base = run_runtime(&cfg, &async_opts(None, None, false)).unwrap();
+        let base_summary = base.runtime.as_ref().unwrap();
+        let explicit = run_runtime(&cfg, &async_opts(Some("poly"), Some(1), false)).unwrap();
+        assert_eq!(
+            explicit.runtime.as_ref().unwrap().param_hash,
+            base_summary.param_hash
+        );
+        let block = base_summary.async_policy.as_ref().expect("policy block");
+        assert_eq!(block.decay, "poly");
+        assert_eq!(block.buffer_k, 1);
+        assert_eq!(block.max_staleness, 2);
+        assert!(!block.adaptive_mix);
+
+        // The full surface parses and lands in the report block.
+        let fancy =
+            run_runtime(&cfg, &async_opts(Some("hinge:1"), Some(2), true)).unwrap();
+        let summary = fancy.runtime.unwrap();
+        let block = summary.async_policy.expect("policy block");
+        assert_eq!(block.decay, "hinge:1");
+        assert_eq!(block.buffer_k, 2);
+        assert!(block.adaptive_mix);
+        assert!(summary.buffered_flushes > 0);
+        assert!(!summary.node_weight_stats.is_empty());
+        assert!(fancy.eval.final_loss.is_finite());
+
+        // Inconsistent or malformed flag combinations fail before
+        // anything runs.
+        let bad = [
+            // Async knobs without async mode.
+            RuntimeOptions {
+                async_decay: Some("hinge".into()),
+                ..RuntimeOptions::default()
+            },
+            RuntimeOptions {
+                async_buffer: Some(2),
+                ..RuntimeOptions::default()
+            },
+            RuntimeOptions {
+                adaptive_mix: true,
+                ..RuntimeOptions::default()
+            },
+            // Malformed decay / buffer values.
+            async_opts(Some("exp"), None, false),
+            async_opts(Some("hinge:"), None, false),
+            async_opts(Some("hinge:x"), None, false),
+            async_opts(None, Some(0), false),
         ];
         for opts in bad {
             assert!(run_runtime(&cfg, &opts).is_err(), "{opts:?} should fail");

@@ -16,6 +16,8 @@
 //!       [--fault-seed N] [--fault-drop P] [--fault-corrupt P]
 //!       [--fault-delay-prob P] [--fault-delay-ms MS]
 //!       [--fault-disconnect-after N]                      link fault plan
+//!       [--async-decay poly|hinge|hinge:K|const]          staleness decay
+//!       [--async-buffer K] [--adaptive-mix]               async policy
 //!       [--update-codec none|dense|quant|topk]            uplink codec
 //!       [--topk K] [--quant-bits 8|16]
 //! ```
@@ -57,6 +59,8 @@ const USAGE: &str = "usage:
         [--fault-seed N] [--fault-drop P] [--fault-corrupt P]
         [--fault-delay-prob P] [--fault-delay-ms MS]
         [--fault-disconnect-after N]
+        [--async-decay poly|hinge|hinge:K|const] [--async-buffer K]
+        [--adaptive-mix]
         [--update-codec none|dense|quant|topk] [--topk K] [--quant-bits 8|16]
   fedml adapt-serve <config.json> --listen <addr> [--transport tcp|uds]
         (--checkpoint-dir <dir> | --attach) [--workers N]
@@ -286,6 +290,17 @@ fn parse_runtime_flags(args: &[String]) -> Result<(RuntimeOptions, Option<String
                         .map_err(|e| format!("bad --fault-disconnect-after: {e}"))?,
                 )
             }
+            "--async-decay" => opts.async_decay = Some(value("--async-decay")?),
+            "--async-buffer" => {
+                let k: usize = value("--async-buffer")?
+                    .parse()
+                    .map_err(|e| format!("bad --async-buffer: {e}"))?;
+                if k == 0 {
+                    return Err("--async-buffer must be at least 1".into());
+                }
+                opts.async_buffer = Some(k);
+            }
+            "--adaptive-mix" => opts.adaptive_mix = true,
             "--update-codec" => opts.update_codec = Some(value("--update-codec")?),
             "--topk" => {
                 opts.topk = Some(

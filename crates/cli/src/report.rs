@@ -87,6 +87,20 @@ pub struct RuntimeSummary {
     pub rejected_stale: u64,
     /// Updates dropped by validation screening.
     pub rejected_invalid: u64,
+    /// Updates dropped because the async policy produced a non-finite
+    /// mixing weight.
+    #[serde(default)]
+    pub rejected_nonfinite_weight: u64,
+    /// Semi-async buffer flushes (0 in per-arrival mode).
+    #[serde(default)]
+    pub buffered_flushes: u64,
+    /// The async aggregation policy the run executed under (absent for
+    /// barrier runs and pre-policy reports).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub async_policy: Option<fml_runtime::AsyncPolicyReport>,
+    /// Per-node effective-weight statistics for async folds.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub node_weight_stats: Vec<fml_runtime::NodeWeightStat>,
     /// Frames that failed to decode.
     pub decode_errors: u64,
     /// Frames dropped, in flight at shutdown, or past their round.
@@ -131,6 +145,10 @@ impl RuntimeSummary {
             staleness_hist: report.staleness_hist.clone(),
             rejected_stale: report.rejected_stale,
             rejected_invalid: report.rejected_invalid,
+            rejected_nonfinite_weight: report.rejected_nonfinite_weight,
+            buffered_flushes: report.buffered_flushes,
+            async_policy: report.async_policy.clone(),
+            node_weight_stats: report.node_weight_stats.clone(),
             decode_errors: report.decode_errors,
             undelivered: report.undelivered,
             degraded_rounds: report.degraded_rounds,
@@ -319,6 +337,36 @@ impl fmt::Display for Report {
                     .collect();
                 writeln!(f, "           staleness {}", hist.join(" "))?;
             }
+            if let Some(p) = &rt.async_policy {
+                write!(
+                    f,
+                    "           policy {} decay (a={}), mix {}, max staleness {}",
+                    p.decay, p.decay_pow, p.mix, p.max_staleness
+                )?;
+                if p.buffer_k > 1 {
+                    write!(f, ", buffer {} ({} flushes)", p.buffer_k, rt.buffered_flushes)?;
+                }
+                if p.adaptive_mix {
+                    write!(f, ", adaptive mix")?;
+                }
+                writeln!(f)?;
+                if rt.rejected_nonfinite_weight > 0 {
+                    writeln!(
+                        f,
+                        "           {} updates rejected for non-finite weight",
+                        rt.rejected_nonfinite_weight
+                    )?;
+                }
+                let folded: Vec<String> = rt
+                    .node_weight_stats
+                    .iter()
+                    .filter(|s| s.applied > 0)
+                    .map(|s| format!("n{}:{:.3}", s.node, s.mean_weight))
+                    .collect();
+                if !folded.is_empty() {
+                    writeln!(f, "           mean fold weight {}", folded.join(" "))?;
+                }
+            }
             if rt.recoveries > 0 || rt.rollbacks > 0 || !rt.excluded_nodes.is_empty() {
                 let excluded: Vec<String> =
                     rt.excluded_nodes.iter().map(|n| n.to_string()).collect();
@@ -463,6 +511,31 @@ mod tests {
             staleness_hist: vec![90, 15, 5],
             rejected_stale: 6,
             rejected_invalid: 1,
+            rejected_nonfinite_weight: 2,
+            buffered_flushes: 55,
+            async_policy: Some(fml_runtime::AsyncPolicyReport {
+                decay: "hinge:1".into(),
+                decay_pow: 0.5,
+                mix: 0.5,
+                max_staleness: 4,
+                buffer_k: 2,
+                adaptive_mix: true,
+            }),
+            node_weight_stats: vec![
+                fml_runtime::NodeWeightStat {
+                    node: 0,
+                    applied: 55,
+                    mean_weight: 0.421,
+                    min_weight: 0.1,
+                    max_weight: 0.5,
+                    quality: 0.8,
+                },
+                fml_runtime::NodeWeightStat {
+                    node: 1,
+                    applied: 0,
+                    ..Default::default()
+                },
+            ],
             decode_errors: 0,
             undelivered: 3,
             degraded_rounds: 2,
@@ -487,6 +560,22 @@ mod tests {
             "missing codec line: {text}"
         );
         assert!(text.contains("staleness s0:90 s1:15 s2:5"));
+        assert!(
+            text.contains(
+                "policy hinge:1 decay (a=0.5), mix 0.5, max staleness 4, \
+                 buffer 2 (55 flushes), adaptive mix"
+            ),
+            "missing policy line: {text}"
+        );
+        assert!(text.contains("2 updates rejected for non-finite weight"));
+        assert!(
+            text.contains("mean fold weight n0:0.421"),
+            "missing weight stats: {text}"
+        );
+        assert!(
+            !text.contains("n1:"),
+            "nodes with no folds must not clutter the weight line: {text}"
+        );
         assert!(text.contains("recovery 1 cycles, 1 rollbacks, excluded [2 3]"));
         assert!(text.contains("4 checkpoints, resumed at round 5"));
         assert!(text.contains("pool 75% hit rate (75 hits / 25 misses), high water 8"));

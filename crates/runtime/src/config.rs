@@ -49,6 +49,38 @@ pub struct CheckpointConfig {
     pub resume: bool,
 }
 
+/// The staleness-decay family used by [`AsyncPolicy::weight`].
+///
+/// All three map a staleness `s ≥ 0` (rounds) to a factor in `(0, 1]`
+/// that is `1` at `s = 0` and non-increasing in `s`; the exponent /
+/// slope `a` is [`AsyncPolicy::decay_pow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StalenessDecay {
+    /// Polynomial `(1 + s)^(−a)` — the FedAsync default and the
+    /// historical behaviour of this runtime.
+    Poly,
+    /// Hinge `1 / (1 + a·max(0, s − b))`: full weight up to the knee
+    /// `b`, then hyperbolic falloff. FedAsync's "hinge" variant.
+    Hinge {
+        /// The knee `b`: staleness up to this many rounds costs nothing.
+        knee: usize,
+    },
+    /// No decay: every accepted update mixes at full strength
+    /// regardless of staleness.
+    Const,
+}
+
+impl std::fmt::Display for StalenessDecay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StalenessDecay::Poly => write!(f, "poly"),
+            StalenessDecay::Hinge { knee: 0 } => write!(f, "hinge"),
+            StalenessDecay::Hinge { knee } => write!(f, "hinge:{knee}"),
+            StalenessDecay::Const => write!(f, "const"),
+        }
+    }
+}
+
 /// Staleness handling for [`Mode::Async`] aggregation.
 ///
 /// An update computed against the round-`r` global model that reaches
@@ -56,22 +88,47 @@ pub struct CheckpointConfig {
 /// platform folds it into the global model as
 ///
 /// ```text
-/// θ ← (1 − w)·θ + w·u,   w = clamp(η · n·ω_i · (1 + s)^(−a), 0, 1)
+/// θ ← (1 − w)·θ + w·u,   w = clamp(η · n·ω_i · decay(s), 0, 1)
 /// ```
 ///
 /// where `η` is [`mix`](AsyncPolicy::mix), `n·ω_i` rescales the node's
-/// eq. 5 aggregation weight so a uniform fleet gets `≈ 1`, and `a` is
-/// [`decay_pow`](AsyncPolicy::decay_pow) (the polynomial decay of
-/// FedAsync). Updates with `s >` [`max_staleness`](AsyncPolicy::max_staleness)
-/// are rejected outright and counted in the report.
+/// eq. 5 aggregation weight so a uniform fleet gets `≈ 1`, and
+/// `decay(s)` is the [`StalenessDecay`] family (polynomial
+/// `(1 + s)^(−a)` by default, with `a =`
+/// [`decay_pow`](AsyncPolicy::decay_pow)). Updates with `s >`
+/// [`max_staleness`](AsyncPolicy::max_staleness) are rejected outright
+/// and counted in the report.
+///
+/// Two orthogonal extensions sit on top of the decay family:
+///
+/// * [`adaptive_mix`](AsyncPolicy::adaptive_mix) — the platform keeps a
+///   per-node quality score `q_i ∈ (0, 1]` (recency-weighted: fresh
+///   accepted updates push it toward 1, stale or rejected ones toward
+///   0) and folds with `clamp(w · q_i, 0, 1)` instead of `w`.
+/// * [`buffer_k`](AsyncPolicy::buffer_k) — FedBuff-style semi-async:
+///   accepted updates accumulate in a buffer and the global only moves
+///   once `k` of them are in, folding their weighted mean with the
+///   mean weight. `k = 1` (the default) is the historical per-arrival
+///   fold.
+///
+/// The default policy (polynomial, `k = 1`, fixed mixing) is
+/// conformance-pinned: it reproduces the pre-policy-seam runtime
+/// bitwise.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AsyncPolicy {
     /// Maximum accepted staleness in rounds; anything older is dropped.
     pub max_staleness: usize,
     /// Base mixing rate `η` applied to every accepted update.
     pub mix: f64,
-    /// Polynomial staleness-decay exponent `a ≥ 0` (0 disables decay).
+    /// Staleness-decay exponent/slope `a ≥ 0` (0 disables decay).
     pub decay_pow: f64,
+    /// Which decay family maps staleness to a weight factor.
+    pub decay: StalenessDecay,
+    /// Aggregate every `k` accepted arrivals instead of per-arrival
+    /// (`1`, the default, folds each update as it lands).
+    pub buffer_k: usize,
+    /// Rescale each fold by the node's observed update quality/recency.
+    pub adaptive_mix: bool,
 }
 
 impl Default for AsyncPolicy {
@@ -80,6 +137,9 @@ impl Default for AsyncPolicy {
             max_staleness: 4,
             mix: 0.5,
             decay_pow: 1.0,
+            decay: StalenessDecay::Poly,
+            buffer_k: 1,
+            adaptive_mix: false,
         }
     }
 }
@@ -113,11 +173,80 @@ impl AsyncPolicy {
         self
     }
 
+    /// Sets the staleness-decay family.
+    pub fn with_decay(mut self, decay: StalenessDecay) -> Self {
+        self.decay = decay;
+        self
+    }
+
+    /// Sets the semi-async buffer size (aggregate every `k` arrivals).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0`.
+    pub fn with_buffer(mut self, k: usize) -> Self {
+        assert!(k > 0, "buffer size must be at least 1");
+        self.buffer_k = k;
+        self
+    }
+
+    /// Enables or disables per-node adaptive mixing.
+    pub fn with_adaptive_mix(mut self, on: bool) -> Self {
+        self.adaptive_mix = on;
+        self
+    }
+
+    /// Checks every field, including ones set by direct struct
+    /// construction that bypass the builder assertions. The CLI and the
+    /// platform call this before trusting a policy; [`weight`]
+    /// additionally refuses to emit a non-finite result, so a bad
+    /// policy that slips through degrades to rejected updates rather
+    /// than NaN-poisoning the global model.
+    ///
+    /// [`weight`]: AsyncPolicy::weight
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.mix > 0.0 && self.mix <= 1.0) {
+            return Err(format!("async mix must be in (0, 1], got {}", self.mix));
+        }
+        if !(self.decay_pow >= 0.0 && self.decay_pow.is_finite()) {
+            return Err(format!(
+                "async decay exponent must be finite and ≥ 0, got {}",
+                self.decay_pow
+            ));
+        }
+        if self.buffer_k == 0 {
+            return Err("async buffer size must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// The decay factor for staleness `s` under the configured family.
+    fn decay_factor(&self, s: usize) -> f64 {
+        match self.decay {
+            StalenessDecay::Poly => (1.0 + s as f64).powf(-self.decay_pow),
+            StalenessDecay::Hinge { knee } => {
+                let over = s.saturating_sub(knee) as f64;
+                1.0 / (1.0 + self.decay_pow * over)
+            }
+            StalenessDecay::Const => 1.0,
+        }
+    }
+
     /// The staleness-decayed mixing weight for node weight `omega` in a
     /// fleet of `n`, at staleness `s`.
+    ///
+    /// NaN-safe: a policy with non-finite fields (possible through
+    /// direct struct construction, which bypasses the builder
+    /// assertions) yields [`f64::NAN`] rather than a silently-clamped
+    /// garbage weight — the platform rejects such updates and counts
+    /// them in the report instead of folding NaN into the global model.
     pub fn weight(&self, omega: f64, n: usize, s: usize) -> f64 {
-        let decay = (1.0 + s as f64).powf(-self.decay_pow);
-        (self.mix * omega * n as f64 * decay).clamp(0.0, 1.0)
+        let raw = self.mix * omega * n as f64 * self.decay_factor(s);
+        if raw.is_finite() {
+            raw.clamp(0.0, 1.0)
+        } else {
+            f64::NAN
+        }
     }
 }
 
@@ -442,5 +571,105 @@ mod tests {
     #[should_panic(expected = "thread count")]
     fn zero_threads_rejected() {
         let _ = RuntimeConfig::barrier(0).with_threads(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer size")]
+    fn zero_buffer_rejected() {
+        let _ = AsyncPolicy::default().with_buffer(0);
+    }
+
+    #[test]
+    fn hinge_decay_is_flat_up_to_the_knee() {
+        let p = AsyncPolicy::default()
+            .with_mix(0.8)
+            .with_decay_pow(1.0)
+            .with_decay(StalenessDecay::Hinge { knee: 2 });
+        let w0 = p.weight(0.25, 4, 0);
+        assert_eq!(w0, p.weight(0.25, 4, 1), "inside the knee: no decay");
+        assert_eq!(w0, p.weight(0.25, 4, 2));
+        // One round past the knee: 1/(1 + a·1) with a = 1.
+        assert!((p.weight(0.25, 4, 3) - w0 / 2.0).abs() < 1e-12);
+        assert!((p.weight(0.25, 4, 4) - w0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn const_decay_ignores_staleness() {
+        let p = AsyncPolicy::default()
+            .with_mix(0.8)
+            .with_decay(StalenessDecay::Const);
+        assert_eq!(p.weight(0.25, 4, 0), p.weight(0.25, 4, 100));
+    }
+
+    #[test]
+    fn decay_display_names() {
+        assert_eq!(StalenessDecay::Poly.to_string(), "poly");
+        assert_eq!(StalenessDecay::Hinge { knee: 0 }.to_string(), "hinge");
+        assert_eq!(StalenessDecay::Hinge { knee: 3 }.to_string(), "hinge:3");
+        assert_eq!(StalenessDecay::Const.to_string(), "const");
+    }
+
+    #[test]
+    fn validate_catches_fields_set_directly() {
+        // Direct struct construction bypasses the builder assertions —
+        // exactly the hole `validate` exists to close.
+        let ok = AsyncPolicy::default();
+        assert!(ok.validate().is_ok());
+        let bad = |p: AsyncPolicy| p.validate().unwrap_err();
+        assert!(bad(AsyncPolicy { decay_pow: f64::NAN, ..ok }).contains("decay exponent"));
+        assert!(bad(AsyncPolicy { decay_pow: -1.0, ..ok }).contains("decay exponent"));
+        assert!(bad(AsyncPolicy { mix: 0.0, ..ok }).contains("mix"));
+        assert!(bad(AsyncPolicy { mix: f64::INFINITY, ..ok }).contains("mix"));
+        assert!(bad(AsyncPolicy { buffer_k: 0, ..ok }).contains("buffer"));
+    }
+
+    #[test]
+    fn weight_is_nan_not_garbage_for_invalid_policies() {
+        // A negative decay_pow makes the polynomial *grow* with
+        // staleness; with infinite mix the product overflows. The old
+        // code clamped the intermediate NaN straight into the fold —
+        // now the caller gets a NaN it can reject.
+        let ok = AsyncPolicy::default();
+        let p = AsyncPolicy { mix: f64::INFINITY, ..ok };
+        assert!(p.weight(0.25, 4, 1).is_nan());
+        let p = AsyncPolicy { decay_pow: f64::NAN, ..ok };
+        assert!(p.weight(0.25, 4, 1).is_nan());
+        // Weird-but-finite policies still clamp like before.
+        let p = AsyncPolicy { decay_pow: -2.0, ..ok };
+        assert_eq!(p.weight(0.9, 4, 5), 1.0);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Across every decay family and finite knob setting, the
+        /// weight is finite, in [0, 1], and non-increasing in staleness.
+        #[test]
+        fn prop_weight_monotone_bounded_finite(
+            family in 0usize..4,
+            knee in 0usize..6,
+            mix in 0.01f64..1.0,
+            a in 0.0f64..8.0,
+            omega in 0.0f64..1.0,
+            n in 1usize..64,
+        ) {
+            let decay = match family {
+                0 => StalenessDecay::Poly,
+                1 => StalenessDecay::Const,
+                _ => StalenessDecay::Hinge { knee },
+            };
+            let p = AsyncPolicy::default()
+                .with_mix(mix)
+                .with_decay_pow(a)
+                .with_decay(decay);
+            let mut prev = f64::INFINITY;
+            for s in 0..16usize {
+                let w = p.weight(omega, n, s);
+                prop_assert!(w.is_finite(), "{decay:?} s={s} w={w}");
+                prop_assert!((0.0..=1.0).contains(&w), "{decay:?} s={s} w={w}");
+                prop_assert!(w <= prev + 1e-15, "{decay:?} not monotone at s={s}");
+                prev = w;
+            }
+        }
     }
 }

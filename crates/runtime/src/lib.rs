@@ -89,11 +89,11 @@ pub mod serving;
 pub mod transport;
 
 pub use clock::VirtualClock;
-pub use config::{AsyncPolicy, CheckpointConfig, Mode, RecoveryConfig, RuntimeConfig};
+pub use config::{AsyncPolicy, CheckpointConfig, Mode, RecoveryConfig, RuntimeConfig, StalenessDecay};
 pub use fml_sim::UpdateCodec;
 pub use health::{HealthPolicy, HealthTracker, NodeHealth, NodeHealthReport};
 pub use platform::{Runtime, RuntimeOutput};
-pub use report::{param_hash, NodeIo, PoolStatsReport, RuntimeReport};
+pub use report::{param_hash, AsyncPolicyReport, NodeIo, NodeWeightStat, PoolStatsReport, RuntimeReport};
 pub use serving::{
     AdaptClient, AdaptOutcome, AdaptServer, GlobalSnapshot, ServingConfig, ServingReport,
     SharedGlobal,

@@ -109,6 +109,136 @@ struct Pending {
     params: Vec<f64>,
 }
 
+/// The virtual round an async upload lands in: `⌊t / round_s⌋ + 1`,
+/// never earlier than its origin round.
+///
+/// Guarded against degenerate inputs that the naive float-to-usize cast
+/// silently mangled: a zero/subnormal `round_s` or a non-finite arrival
+/// time drives the quotient to ±∞/NaN, and `as usize` *saturates* — the
+/// old `… as usize + 1` then overflowed `usize::MAX` (panic in debug,
+/// wrap to round 1 in release, resurrecting an undeliverable upload as
+/// an on-time one). Any such input, and any arrival past `last_round`,
+/// now maps to `last_round + 1`: the upload stays in (virtual) flight
+/// forever and is counted as undelivered at shutdown, which is also
+/// exactly how the well-formed "arrives after the schedule ended" case
+/// has always behaved.
+fn virtual_arrival_round(
+    arrival_time_s: f64,
+    round_s: f64,
+    origin: usize,
+    last_round: usize,
+) -> usize {
+    let never = last_round + 1;
+    if !arrival_time_s.is_finite() || !round_s.is_finite() || round_s <= 0.0 {
+        return never;
+    }
+    let q = (arrival_time_s / round_s).floor();
+    if !q.is_finite() || q < 0.0 || q >= last_round as f64 {
+        return never;
+    }
+    (q as usize + 1).max(origin)
+}
+
+/// Running min/mean/max of the effective weights actually folded for
+/// one node (async mode).
+#[derive(Clone, Copy, Default)]
+struct WeightAccum {
+    applied: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl WeightAccum {
+    fn record(&mut self, w: f64) {
+        if self.applied == 0 {
+            self.min = w;
+            self.max = w;
+        } else {
+            self.min = self.min.min(w);
+            self.max = self.max.max(w);
+        }
+        self.sum += w;
+        self.applied += 1;
+    }
+
+    fn stat(&self, node: usize, quality: f64) -> crate::report::NodeWeightStat {
+        crate::report::NodeWeightStat {
+            node,
+            applied: self.applied,
+            mean_weight: if self.applied > 0 {
+                self.sum / self.applied as f64
+            } else {
+                0.0
+            },
+            min_weight: self.min,
+            max_weight: self.max,
+            quality,
+        }
+    }
+}
+
+/// FedBuff-style semi-async accumulator: accepted updates pile up here
+/// and the global model only moves when `k` of them are in (or at the
+/// end-of-run partial flush). The fold applies the buffer's *weighted
+/// mean* update at the *mean* effective weight, so a full buffer of
+/// identical updates moves the global exactly as far as one per-arrival
+/// fold of that update would.
+struct UpdateBuffer {
+    k: usize,
+    count: usize,
+    sum_w: f64,
+    /// `Σ w_j · u_j`, accumulated in arrival order.
+    acc: Vec<f64>,
+}
+
+impl UpdateBuffer {
+    fn new(k: usize, dim: usize) -> Self {
+        UpdateBuffer {
+            k,
+            count: 0,
+            sum_w: 0.0,
+            acc: vec![0.0; dim],
+        }
+    }
+
+    fn push(&mut self, w: f64, update: &[f64]) {
+        for (a, &u) in self.acc.iter_mut().zip(update) {
+            *a += w * u;
+        }
+        self.sum_w += w;
+        self.count += 1;
+    }
+
+    fn full(&self) -> bool {
+        self.count >= self.k
+    }
+
+    /// Folds the buffered weighted mean into `global` and resets.
+    /// Returns whether anything was actually applied.
+    fn flush(&mut self, global: &mut [f64]) -> bool {
+        if self.count == 0 {
+            return false;
+        }
+        let applied = if self.sum_w > 0.0 {
+            let w_bar = (self.sum_w / self.count as f64).clamp(0.0, 1.0);
+            for (g, &a) in global.iter_mut().zip(&self.acc) {
+                let u_bar = a / self.sum_w;
+                *g = (1.0 - w_bar) * *g + w_bar * u_bar;
+            }
+            true
+        } else {
+            // All-zero weights: nothing to apply, but the buffer still
+            // cycles so it cannot pin stale contributions forever.
+            false
+        };
+        self.count = 0;
+        self.sum_w = 0.0;
+        self.acc.iter_mut().for_each(|a| *a = 0.0);
+        applied
+    }
+}
+
 impl Runtime {
     /// Creates a runtime with the given configuration.
     pub fn new(cfg: RuntimeConfig) -> Self {
@@ -978,11 +1108,18 @@ impl Platform<'_> {
 
     /// Bounded-staleness rounds. Returns the final parameters.
     fn run_async(&mut self, theta0: &[f64], policy: &AsyncPolicy) -> Vec<f64> {
+        self.report.async_policy = Some(policy.into());
         let mut global = theta0.to_vec();
         let start = self.resume_state(&mut global);
         self.publish_global(start - 1, &global);
         let mut pending: Vec<Pending> = Vec::new();
         let round_s = self.cfg.round_duration_s;
+        // Per-node adaptive-mixing quality scores (recency-weighted,
+        // start at full trust) and effective-weight statistics.
+        let mut quality = vec![1.0f64; self.n];
+        let mut weight_stats = vec![WeightAccum::default(); self.n];
+        let buffered = policy.buffer_k > 1;
+        let mut buffer = UpdateBuffer::new(policy.buffer_k, global.len());
 
         for round in start..=self.rounds {
             self.health.begin_round(round);
@@ -1004,11 +1141,10 @@ impl Platform<'_> {
             for (node, params) in got {
                 let delay = self.upload_delay_s(node, round);
                 let arrival_time_s = (round - 1) as f64 * round_s + delay;
-                let arrive = (arrival_time_s / round_s).floor() as usize + 1;
                 pending.push(Pending {
                     node,
                     origin: round,
-                    arrive: arrive.max(round),
+                    arrive: virtual_arrival_round(arrival_time_s, round_s, round, self.rounds),
                     arrival_time_s,
                     params,
                 });
@@ -1034,6 +1170,9 @@ impl Platform<'_> {
                 if staleness > policy.max_staleness {
                     self.report.rejected_stale += 1;
                     self.health.record_failure(p.node, round);
+                    if policy.adaptive_mix {
+                        quality[p.node] *= 0.5;
+                    }
                     continue;
                 }
                 if screen_update(&mut p.params, &self.cfg.gather.validation)
@@ -1041,20 +1180,53 @@ impl Platform<'_> {
                 {
                     self.report.rejected_invalid += 1;
                     self.health.record_failure(p.node, round);
+                    if policy.adaptive_mix {
+                        quality[p.node] *= 0.5;
+                    }
                     continue;
                 }
-                let w = policy.weight(self.tasks[p.node].weight, self.n, staleness);
-                for (g, &u) in global.iter_mut().zip(&p.params) {
-                    *g = (1.0 - w) * *g + w * u;
+                let mut w = policy.weight(self.tasks[p.node].weight, self.n, staleness);
+                if policy.adaptive_mix {
+                    w = (w * quality[p.node]).clamp(0.0, 1.0);
+                }
+                if !w.is_finite() {
+                    // A mis-constructed policy (fields set directly,
+                    // bypassing validation) must degrade to a rejected
+                    // update — never fold NaN into the global model.
+                    self.report.rejected_nonfinite_weight += 1;
+                    self.health.record_failure(p.node, round);
+                    continue;
+                }
+                if buffered {
+                    buffer.push(w, &p.params);
+                    if buffer.full() && buffer.flush(&mut global) {
+                        self.report.buffered_flushes += 1;
+                    }
+                } else {
+                    for (g, &u) in global.iter_mut().zip(&p.params) {
+                        *g = (1.0 - w) * *g + w * u;
+                    }
+                }
+                if policy.adaptive_mix {
+                    quality[p.node] =
+                        0.5 * quality[p.node] + 0.5 / (1.0 + staleness as f64);
                 }
                 if staleness >= self.report.staleness_hist.len() {
                     self.report.staleness_hist.resize(staleness + 1, 0);
                 }
                 self.report.staleness_hist[staleness] += 1;
+                weight_stats[p.node].record(w);
                 applied += 1;
                 self.health.record_success(p.node, round);
                 comm_time_s =
                     comm_time_s.max(p.arrival_time_s - (p.origin - 1) as f64 * round_s);
+            }
+
+            // Semi-async: a partial buffer must not strand accepted
+            // updates when the schedule ends — flush it before the
+            // final round's divergence check and evaluation.
+            if buffered && round == self.rounds && buffer.flush(&mut global) {
+                self.report.buffered_flushes += 1;
             }
 
             let mut rolled_back = false;
@@ -1088,6 +1260,11 @@ impl Platform<'_> {
 
         // Uploads still in (virtual) flight when the schedule ended.
         self.report.undelivered += pending.len() as u64;
+        self.report.node_weight_stats = weight_stats
+            .iter()
+            .enumerate()
+            .map(|(node, acc)| acc.stat(node, quality[node]))
+            .collect();
         self.report.node_health = self.health.summaries();
         self.report.excluded_nodes = self.health.excluded_nodes();
         self.report.pool = self.pool.stats().into();
@@ -1251,5 +1428,208 @@ mod tests {
         assert_eq!(one.train.history, four.train.history);
         assert_eq!(one.report.threads, 1);
         assert_eq!(four.report.threads, 4);
+    }
+
+    #[test]
+    fn virtual_arrival_round_matches_naive_cast_in_range() {
+        // On well-formed inputs the guarded helper is the historical
+        // expression, bit for bit.
+        for (t, round_s, origin) in [
+            (0.0f64, 1.0f64, 1usize),
+            (0.15, 1.0, 1),
+            (1.0, 1.0, 1),
+            (2.7, 1.0, 2),
+            (3.999, 2.0, 1),
+            (7.3, 0.5, 4),
+        ] {
+            let naive = (t / round_s).floor() as usize + 1;
+            assert_eq!(
+                virtual_arrival_round(t, round_s, origin, 100),
+                naive.max(origin),
+                "t={t} round_s={round_s}"
+            );
+        }
+        // An arrival past the schedule maps to last_round + 1 — the
+        // same "never delivered" outcome the old code reached with an
+        // arbitrarily large round number.
+        assert_eq!(virtual_arrival_round(55.0, 1.0, 3, 8), 9);
+    }
+
+    #[test]
+    fn virtual_arrival_round_guards_degenerate_inputs() {
+        // Each of these drove the old `floor() as usize + 1` through a
+        // saturating cast: usize::MAX + 1 panics in debug and wraps to
+        // round 0 in release, where `.max(origin)` resurrected an
+        // undeliverable upload as an on-time one. All must now park the
+        // upload past the schedule instead.
+        let last = 8;
+        for (t, round_s) in [
+            (1.0, 0.0),                 // zero round duration
+            (1.0, -1.0),                // negative round duration
+            (1.0, f64::MIN_POSITIVE),   // subnormal-adjacent: quotient overflows
+            (1.0, 5e-324),              // subnormal round duration
+            (f64::INFINITY, 1.0),       // non-finite arrival time
+            (f64::NAN, 1.0),
+            (f64::NEG_INFINITY, 1.0),
+            (1.0, f64::NAN),
+            (1.0, f64::INFINITY),
+            (-3.0, 1.0),                // negative virtual time
+            (f64::MAX, 1.0),            // quotient exceeds usize range
+        ] {
+            assert_eq!(
+                virtual_arrival_round(t, round_s, 2, last),
+                last + 1,
+                "t={t} round_s={round_s}"
+            );
+        }
+    }
+
+    #[test]
+    fn staleness_exactly_at_the_bound_lands_in_the_last_bucket() {
+        // base_delay 2.0 with zero jitter and 1 s rounds makes *every*
+        // delivered update arrive with staleness exactly 2.
+        let (model, tasks, theta0) = setup(4);
+        let trainer = fedml(8);
+        let cfg = |max_staleness| {
+            RuntimeConfig::async_mode(
+                5,
+                AsyncPolicy::default().with_max_staleness(max_staleness),
+            )
+            .with_round_duration(1.0)
+            .with_clock(VirtualClock::new(5).with_base_delay(2.0))
+        };
+
+        // s == max_staleness: accepted, into the final histogram slot —
+        // the documented `max_staleness + 1` length bound is tight.
+        let out = Runtime::new(cfg(2)).run(&trainer, &model, &tasks, &theta0);
+        assert_eq!(out.report.rejected_stale, 0);
+        assert_eq!(out.report.staleness_hist.len(), 3);
+        assert_eq!(out.report.staleness_hist[0], 0);
+        assert_eq!(out.report.staleness_hist[1], 0);
+        assert!(out.report.staleness_hist[2] > 0);
+        assert_eq!(
+            out.report.max_applied_staleness(),
+            Some(2),
+            "the bound itself must be accepted"
+        );
+
+        // s == max_staleness + 1: every delivery rejected as stale.
+        let out = Runtime::new(cfg(1)).run(&trainer, &model, &tasks, &theta0);
+        assert_eq!(out.report.accepted_updates(), 0);
+        assert!(out.report.rejected_stale > 0);
+        assert!(out.report.staleness_hist.len() <= 2);
+    }
+
+    #[test]
+    fn nonfinite_policy_weight_is_rejected_not_folded() {
+        // Direct struct construction bypasses the builder assertions;
+        // the NaN weight must surface as rejections, never as NaN
+        // parameters.
+        let (model, tasks, theta0) = setup(3);
+        let trainer = fedml(4);
+        let policy = AsyncPolicy {
+            mix: f64::NAN,
+            ..AsyncPolicy::default()
+        };
+        let out = Runtime::new(
+            RuntimeConfig::async_mode(5, policy)
+                .with_round_duration(1.0)
+                .with_clock(VirtualClock::new(5).with_base_delay(0.1)),
+        )
+        .run(&trainer, &model, &tasks, &theta0);
+        assert!(out.train.params.iter().all(|x| x.is_finite()));
+        assert_eq!(out.train.params, theta0, "no update may move the global");
+        assert_eq!(out.report.accepted_updates(), 0);
+        assert!(out.report.rejected_nonfinite_weight > 0);
+        assert_eq!(out.report.rejected_invalid, 0, "updates themselves are valid");
+    }
+
+    #[test]
+    fn buffered_mode_flushes_every_k_and_drains_at_shutdown() {
+        let (model, tasks, theta0) = setup(4);
+        let trainer = fedml(6);
+        let cfg = RuntimeConfig::async_mode(5, AsyncPolicy::default().with_buffer(3))
+            .with_round_duration(1.0)
+            .with_clock(VirtualClock::new(5).with_base_delay(0.1).with_jitter(1.5));
+        let out = Runtime::new(cfg).run(&trainer, &model, &tasks, &theta0);
+        let accepted = out.report.accepted_updates();
+        assert!(accepted > 0);
+        // Every accepted update is either part of a full flush or the
+        // end-of-run partial drain — none strand in the buffer.
+        assert_eq!(out.report.buffered_flushes, accepted.div_ceil(3));
+        assert!(out.train.params.iter().all(|x| x.is_finite()));
+        assert_ne!(out.train.params, theta0);
+    }
+
+    #[test]
+    fn adaptive_mix_downweights_nodes_that_deliver_stale() {
+        let (model, tasks, theta0) = setup(4);
+        let trainer = fedml(8);
+        let cfg = |adaptive| {
+            RuntimeConfig::async_mode(
+                5,
+                AsyncPolicy::default().with_adaptive_mix(adaptive),
+            )
+            .with_round_duration(1.0)
+            .with_clock(VirtualClock::new(5).with_base_delay(0.1).with_jitter(2.5))
+        };
+        let plain = Runtime::new(cfg(false)).run(&trainer, &model, &tasks, &theta0);
+        let adaptive = Runtime::new(cfg(true)).run(&trainer, &model, &tasks, &theta0);
+        // Off: quality stays at full trust and the stats only reflect
+        // the staleness decay.
+        assert!(plain
+            .report
+            .node_weight_stats
+            .iter()
+            .all(|s| s.quality == 1.0));
+        // On: stale deliveries (the fixture has jitter up to 2.5
+        // rounds) must have dented somebody's trust score, and the
+        // dampened folds change the trajectory.
+        let qualities: Vec<f64> = adaptive
+            .report
+            .node_weight_stats
+            .iter()
+            .map(|s| s.quality)
+            .collect();
+        assert!(qualities.iter().all(|q| (0.0..=1.0).contains(q)));
+        assert!(qualities.iter().any(|&q| q < 1.0), "{qualities:?}");
+        assert_ne!(adaptive.train.params, plain.train.params);
+        // Effective weights never exceed the plain policy's for the
+        // same node — quality only shrinks folds.
+        for (a, p) in adaptive
+            .report
+            .node_weight_stats
+            .iter()
+            .zip(&plain.report.node_weight_stats)
+        {
+            assert!(a.max_weight <= p.max_weight + 1e-15);
+        }
+    }
+
+    #[test]
+    fn async_report_carries_the_policy_block() {
+        let (model, tasks, theta0) = setup(3);
+        let trainer = fedml(4);
+        let policy = AsyncPolicy::default()
+            .with_decay(crate::config::StalenessDecay::Hinge { knee: 1 })
+            .with_buffer(2)
+            .with_adaptive_mix(true);
+        let out = Runtime::new(
+            RuntimeConfig::async_mode(5, policy)
+                .with_round_duration(1.0)
+                .with_clock(VirtualClock::new(5).with_base_delay(0.1).with_jitter(1.0)),
+        )
+        .run(&trainer, &model, &tasks, &theta0);
+        let block = out.report.async_policy.expect("async run reports its policy");
+        assert_eq!(block.decay, "hinge:1");
+        assert_eq!(block.buffer_k, 2);
+        assert!(block.adaptive_mix);
+        assert_eq!(block.max_staleness, 4);
+        assert_eq!(out.report.node_weight_stats.len(), 3);
+        // Barrier runs carry no policy block.
+        let barrier =
+            Runtime::new(RuntimeConfig::barrier(5)).run(&trainer, &model, &tasks, &theta0);
+        assert!(barrier.report.async_policy.is_none());
+        assert!(barrier.report.node_weight_stats.is_empty());
     }
 }

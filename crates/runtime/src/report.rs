@@ -5,7 +5,61 @@ use serde::{Deserialize, Serialize};
 
 use fml_sim::{PoolStats, TraceLog};
 
+use crate::config::AsyncPolicy;
 use crate::health::NodeHealthReport;
+
+/// The async aggregation policy a run executed under, as recorded in
+/// the report — decay family, knobs, and the buffered/adaptive modes.
+/// Present only on async-mode reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsyncPolicyReport {
+    /// Decay family name: `"poly"`, `"hinge"`/`"hinge:<knee>"`, or
+    /// `"const"`.
+    pub decay: String,
+    /// Decay exponent/slope `a`.
+    pub decay_pow: f64,
+    /// Base mixing rate `η`.
+    pub mix: f64,
+    /// Staleness bound in rounds.
+    pub max_staleness: usize,
+    /// Semi-async buffer size (1 = per-arrival folds).
+    pub buffer_k: usize,
+    /// Whether per-node adaptive mixing was on.
+    pub adaptive_mix: bool,
+}
+
+impl From<&AsyncPolicy> for AsyncPolicyReport {
+    fn from(p: &AsyncPolicy) -> Self {
+        AsyncPolicyReport {
+            decay: p.decay.to_string(),
+            decay_pow: p.decay_pow,
+            mix: p.mix,
+            max_staleness: p.max_staleness,
+            buffer_k: p.buffer_k,
+            adaptive_mix: p.adaptive_mix,
+        }
+    }
+}
+
+/// Effective-weight statistics for one node's accepted async updates:
+/// what actually multiplied into the global fold after staleness decay
+/// and (when enabled) adaptive mixing.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeWeightStat {
+    /// Node id (index into the task list).
+    pub node: usize,
+    /// Updates from this node folded into the global model.
+    pub applied: u64,
+    /// Mean effective weight across those folds (0 when none).
+    pub mean_weight: f64,
+    /// Smallest effective weight observed (0 when none).
+    pub min_weight: f64,
+    /// Largest effective weight observed (0 when none).
+    pub max_weight: f64,
+    /// Final adaptive-mixing quality score `q_i` (1.0 when adaptive
+    /// mixing is off or the node was never scored).
+    pub quality: f64,
+}
 
 /// Frame and byte counters for one node actor, measured at the node
 /// (received broadcasts, sent updates).
@@ -69,6 +123,23 @@ pub struct RuntimeReport {
     pub rejected_stale: u64,
     /// Updates dropped by validation (non-finite screening).
     pub rejected_invalid: u64,
+    /// Updates dropped because the policy produced a non-finite mixing
+    /// weight (a mis-constructed policy that bypassed validation).
+    #[serde(default)]
+    pub rejected_nonfinite_weight: u64,
+    /// Times the semi-async buffer reached `k` and folded its contents
+    /// into the global model (includes the end-of-run partial flush).
+    /// 0 in per-arrival mode.
+    #[serde(default)]
+    pub buffered_flushes: u64,
+    /// The async policy this run executed under; `None` on barrier-mode
+    /// and pre-policy reports.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub async_policy: Option<AsyncPolicyReport>,
+    /// Per-node effective-weight statistics for async folds, indexed by
+    /// node id. Empty on barrier-mode and pre-policy reports.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub node_weight_stats: Vec<NodeWeightStat>,
     /// Frames that failed [`fml_sim::Message::decode`] on either side.
     pub decode_errors: u64,
     /// Frames that never reached their consumer: full or disconnected
@@ -254,6 +325,19 @@ mod tests {
             staleness_hist: vec![12, 4, 0, 2],
             rejected_stale: 3,
             rejected_invalid: 1,
+            rejected_nonfinite_weight: 0,
+            buffered_flushes: 4,
+            async_policy: Some(AsyncPolicyReport::from(
+                &AsyncPolicy::default().with_buffer(2),
+            )),
+            node_weight_stats: vec![NodeWeightStat {
+                node: 0,
+                applied: 10,
+                mean_weight: 0.4,
+                min_weight: 0.1,
+                max_weight: 0.5,
+                quality: 1.0,
+            }],
             decode_errors: 0,
             undelivered: 2,
             broadcast_drops: vec![0, 1, 0, 1],
@@ -337,6 +421,26 @@ mod tests {
         // PR-9 codec fields default too.
         assert_eq!(r.update_codec, "");
         assert_eq!(r.per_node[0].bytes_sent_logical, 0);
+        // PR-10 async-policy fields default too.
+        assert_eq!(r.rejected_nonfinite_weight, 0);
+        assert_eq!(r.buffered_flushes, 0);
+        assert!(r.async_policy.is_none());
+        assert!(r.node_weight_stats.is_empty());
+    }
+
+    #[test]
+    fn async_policy_report_captures_the_policy() {
+        let p = AsyncPolicy::default()
+            .with_decay(crate::config::StalenessDecay::Hinge { knee: 2 })
+            .with_decay_pow(0.5)
+            .with_buffer(4)
+            .with_adaptive_mix(true);
+        let rep = AsyncPolicyReport::from(&p);
+        assert_eq!(rep.decay, "hinge:2");
+        assert_eq!(rep.decay_pow, 0.5);
+        assert_eq!(rep.buffer_k, 4);
+        assert!(rep.adaptive_mix);
+        assert_eq!(rep.max_staleness, 4);
     }
 
     #[test]

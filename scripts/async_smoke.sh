@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Async-policy smoke gate: one seeded federation trained through the
+# CLI in async mode under several aggregation policies. The gate
+# requires:
+#   * spelling out the default knobs (`--async-decay poly
+#     --async-buffer 1`) is hash-equal to the bare async run: the
+#     policy seam is provably bitwise-inert on the default path;
+#   * hinge decay and buffered semi-async (k=2) converge to a final
+#     query loss within tolerance of the default policy's;
+#   * the report names the policy it ran, and the flags are rejected
+#     outside async mode.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build -q -p fml-cli --bin fedml
+BIN=target/debug/fedml
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+cat > "$work/cfg.json" <<'EOF'
+{
+  "seed": 13,
+  "source_frac": 0.75,
+  "dataset": {
+    "kind": "synthetic",
+    "alpha": 0.5,
+    "beta": 0.5,
+    "nodes": 8,
+    "dim": 6,
+    "classes": 3,
+    "mean_samples": 18.0
+  },
+  "model": { "kind": "softmax", "l2": 0.001 },
+  "algorithm": {
+    "kind": "fedml",
+    "alpha": 0.05,
+    "beta": 0.05,
+    "local_steps": 2,
+    "rounds": 6,
+    "first_order": false
+  },
+  "simulate": null,
+  "eval": { "k": 4, "adapt_steps": 3, "adapt_lr": 0.05, "fgsm_xi": null }
+}
+EOF
+
+"$BIN" runtime "$work/cfg.json" --mode async \
+    --json "$work/base.json" > /dev/null
+"$BIN" runtime "$work/cfg.json" --mode async \
+    --async-decay poly --async-buffer 1 \
+    --json "$work/explicit.json" > /dev/null
+"$BIN" runtime "$work/cfg.json" --mode async --async-decay hinge:1 \
+    --json "$work/hinge.json" > /dev/null
+"$BIN" runtime "$work/cfg.json" --mode async --async-buffer 2 \
+    --json "$work/buffered.json" > /dev/null
+
+hash_of() {
+    sed -n 's/.*"param_hash": "\([0-9a-f]\{16\}\)".*/\1/p' "$1" | head -n 1
+}
+loss_of() {
+    sed -n 's/.*"final_loss": \([-0-9.eE+]*\),*.*/\1/p' "$1" | head -n 1
+}
+near() {
+    awk -v a="$1" -v b="$2" -v tol="$3" \
+        'BEGIN { d = a - b; if (d < 0) d = -d; exit !(d <= tol) }'
+}
+
+# 1. Explicit default knobs are the identity: not a bit may move.
+base_hash=$(hash_of "$work/base.json")
+explicit_hash=$(hash_of "$work/explicit.json")
+if [ -z "$base_hash" ] || [ "$base_hash" != "$explicit_hash" ]; then
+    echo "async smoke: explicit default policy perturbed the run: base=$base_hash explicit=$explicit_hash" >&2
+    exit 1
+fi
+
+# 2. Alternative policies converge near the default's final loss.
+base_loss=$(loss_of "$work/base.json")
+hinge_loss=$(loss_of "$work/hinge.json")
+buffered_loss=$(loss_of "$work/buffered.json")
+if [ -z "$base_loss" ] || [ -z "$hinge_loss" ] || [ -z "$buffered_loss" ]; then
+    echo "async smoke: missing final_loss in reports" >&2
+    exit 1
+fi
+if ! near "$base_loss" "$hinge_loss" 0.25; then
+    echo "async smoke: hinge decay drifted: default=$base_loss hinge=$hinge_loss (tol 0.25)" >&2
+    exit 1
+fi
+if ! near "$base_loss" "$buffered_loss" 0.25; then
+    echo "async smoke: buffered mode drifted: default=$base_loss buffered=$buffered_loss (tol 0.25)" >&2
+    exit 1
+fi
+
+# 3. The reports say which policy ran.
+if ! grep -q '"decay": "hinge:1"' "$work/hinge.json"; then
+    echo "async smoke: hinge report does not carry its decay name" >&2
+    exit 1
+fi
+if ! grep -q '"buffer_k": 2' "$work/buffered.json"; then
+    echo "async smoke: buffered report does not carry its buffer size" >&2
+    exit 1
+fi
+
+# 4. The policy flags are async-only.
+if "$BIN" runtime "$work/cfg.json" --async-decay hinge \
+    --json "$work/bad.json" > /dev/null 2>&1; then
+    echo "async smoke: --async-decay was accepted in barrier mode" >&2
+    exit 1
+fi
+
+echo "async smoke: OK (default bitwise-stable; loss default=$base_loss hinge=$hinge_loss buffered=$buffered_loss)"

@@ -15,4 +15,5 @@ cargo test --workspace -q
 "$(dirname "$0")/recovery_smoke.sh"
 "$(dirname "$0")/adapt_smoke.sh"
 "$(dirname "$0")/compress_smoke.sh"
+"$(dirname "$0")/async_smoke.sh"
 echo "check: OK"
